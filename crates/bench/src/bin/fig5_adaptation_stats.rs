@@ -1,0 +1,122 @@
+//! Fig. 5 — Extent of mesh adaptation in an advection-dominated
+//! transport run.
+//!
+//! Paper (4096 cores, ~131K elem/core): per adaptation step, roughly
+//! half the elements are coarsened or refined while `MarkElements` holds
+//! the total element count about constant; by the 8th adaptation step the
+//! octree spans ~10 levels.
+//!
+//! Here: the same workload at host scale — a sharp thermal front advected
+//! by a rotating velocity field, adapting every `ADAPT_EVERY` steps with
+//! a fixed global element target — printing both panels of the figure.
+
+use mesh::extract::extract_mesh;
+use octree::parallel::DistOctree;
+use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
+use rhea::timers::PhaseTimers;
+use rhea::transport::{TransportParams, TransportSolver};
+use rhea_bench::{banner, Table};
+use scomm::spmd;
+
+const RANKS: usize = 4;
+const ADAPT_STEPS: usize = 17; // the paper's Fig. 5 shows 17 adaptation steps
+const ADAPT_EVERY: usize = 8; // paper uses 32; scaled with the run length
+const TARGET: u64 = 6000;
+
+fn main() {
+    banner("Figure 5", "Elements coarsened/refined/balanced/unchanged per adaptation step");
+    let rows = spmd::run(RANKS, |c| {
+        let mut tree = DistOctree::new_uniform(c, 3);
+        let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
+        let mut temp: Vec<f64> = (0..mesh.n_owned)
+            .map(|d| {
+                let p = mesh.dof_coords(d);
+                // Sharp front: a tanh shell around a moving center.
+                let r = ((p[0] - 0.7).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
+                    .sqrt();
+                0.5 * (1.0 - ((r - 0.2) * 40.0).tanh())
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut timers = PhaseTimers::new();
+        for adapt_step in 0..ADAPT_STEPS {
+            // Advance the front between adaptations.
+            let params = TransportParams { kappa: 1e-6, source: 0.0, cfl: 0.4 };
+            let mut ts = TransportSolver::new(&mesh, c, params);
+            ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.1 * (p[2] - 0.5)]);
+            for _ in 0..ADAPT_EVERY {
+                let dt = ts.stable_dt().min(0.01);
+                ts.step(&mut temp, dt);
+            }
+            // Adapt.
+            let ind = gradient_indicator(&mesh, c, &temp);
+            let fields = [temp.clone()];
+            let aparams = AdaptParams {
+                target_elements: TARGET,
+                max_level: 7,
+                min_level: 2,
+                ..Default::default()
+            };
+            let (new_mesh, mut new_fields, rep) =
+                adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+            mesh = new_mesh;
+            temp = new_fields.remove(0);
+            out.push((adapt_step, rep));
+        }
+        out
+    });
+
+    let mut table = Table::new(&[
+        "step",
+        "refined",
+        "coarsened(fam)",
+        "balance-added",
+        "unchanged",
+        "total after",
+    ]);
+    for (step, rep) in &rows[0] {
+        table.row(&[
+            (step + 1).to_string(),
+            rep.refined.to_string(),
+            rep.coarsened_families.to_string(),
+            rep.balance_added.to_string(),
+            rep.unchanged.to_string(),
+            rep.elements_after.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!("Elements per level (Fig. 5 right), selected adaptation steps:");
+    let mut ltab = Table::new(&["level", "step 2", "step 4", "step 8", "step 17"]);
+    let pick = [1usize, 3, 7, 16];
+    let max_level = rows[0]
+        .iter()
+        .flat_map(|(_, r)| {
+            r.level_histogram
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(l, _)| l)
+        })
+        .max()
+        .unwrap_or(0);
+    for level in 0..=max_level {
+        let mut cells = vec![level.to_string()];
+        for &s in &pick {
+            let n = rows[0][s].1.level_histogram.get(level).copied().unwrap_or(0);
+            cells.push(n.to_string());
+        }
+        ltab.row(&cells);
+    }
+    ltab.print();
+    println!();
+    let last = &rows[0].last().unwrap().1;
+    let churn = last.refined + 8 * last.coarsened_families;
+    println!(
+        "Shape check (paper): ~half the mesh churns per adaptation step\n\
+         (here: {churn} of {} elements touched in the final step) while the\n\
+         total stays near the target of {TARGET}.",
+        last.elements_after
+    );
+}

@@ -1,0 +1,145 @@
+//! Fig. 6 — Fixed-size (strong) scalability of adaptive
+//! advection–diffusion.
+//!
+//! Paper: near-ideal speedups over wide ranges — 366× at 512 cores for
+//! the small (1.99M-element) problem, 52× from 16→1024 cores (medium,
+//! 32.7M), 101× from 256→32,768 (large, 531M), 11.5× from 4096→61,440
+//! (very large, 2.24B).
+//!
+//! Here: the real AMR transport loop runs on simulated ranks to *measure*
+//! per-rank communication statistics and per-element compute cost; the
+//! Ranger machine model then produces the strong-scaling curve
+//! `T(P) = W/P + comm(P)` for each paper problem size (DESIGN.md
+//! substitution #1). The measured single-rank wall time calibrates the
+//! per-element cost; the shape — near-ideal until the surface/volume and
+//! log P communication terms bite — is the reproduced result.
+
+use mesh::extract::extract_mesh;
+use octree::parallel::DistOctree;
+use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
+use rhea::timers::PhaseTimers;
+use rhea::transport::{TransportParams, TransportSolver};
+use rhea_bench::{banner, human, paper_core_counts, Table};
+use scomm::{spmd, CommStats, MachineModel};
+
+/// Run the AMR transport workload and return
+/// (elements, steps, rank-0 stats, wall seconds on 1 rank if serial).
+fn run_workload(ranks: usize, level: u8, steps: usize) -> (u64, CommStats, f64) {
+    let t0 = std::time::Instant::now();
+    let (out, stats) = spmd::run_with_stats(ranks, move |c| {
+        let mut tree = DistOctree::new_uniform(c, level);
+        let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
+        let mut temp: Vec<f64> = (0..mesh.n_owned)
+            .map(|d| {
+                let p = mesh.dof_coords(d);
+                (-((p[0] - 0.3).powi(2) + (p[1] - 0.5).powi(2)) / 0.01).exp()
+            })
+            .collect();
+        let target = tree.global_count();
+        let mut timers = PhaseTimers::new();
+        for s in 0..steps {
+            let params = TransportParams { kappa: 1e-6, source: 0.0, cfl: 0.4 };
+            let mut ts = TransportSolver::new(&mesh, c, params);
+            ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
+            let dt = ts.stable_dt().min(0.01);
+            ts.step(&mut temp, dt);
+            if s % 4 == 3 {
+                let ind = gradient_indicator(&mesh, c, &temp);
+                let fields = [temp.clone()];
+                let aparams = AdaptParams {
+                    target_elements: target,
+                    max_level: level + 2,
+                    min_level: 1,
+                    ..Default::default()
+                };
+                let (nm, mut nf, _) =
+                    adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+                mesh = nm;
+                temp = nf.remove(0);
+            }
+        }
+        tree.global_count()
+    });
+    (out[0], stats[0].clone(), t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    banner("Figure 6", "Fixed-size scalability: speedups vs. cores for four problem sizes");
+
+    // Calibrate per-element-step cost and per-rank comm profile from real
+    // runs (ranks = 4 gives representative per-rank message counts).
+    let steps = 8;
+    let (n_small, _, t1) = run_workload(1, 3, steps);
+    let (_, stats4, _) = run_workload(4, 3, steps);
+    let machine = MachineModel::ranger();
+    // Measured host cost per element-step (seconds) → model flops.
+    let sec_per_elem_step = t1 / (n_small as f64 * steps as f64);
+    // Convert to Ranger-model flops via the FEM efficiency assumption.
+    let flops_per_elem_step =
+        sec_per_elem_step * machine.fem_efficiency * machine.peak_flops_per_core;
+    println!(
+        "calibration: {:.2} µs/element/step on this host → {:.0} model flops/element/step;\n\
+         per-rank comm profile measured on 4 ranks: {} msgs, {} bytes, {} collectives\n",
+        sec_per_elem_step * 1e6,
+        flops_per_elem_step,
+        stats4.p2p_messages,
+        stats4.p2p_bytes,
+        stats4.collectives()
+    );
+
+    // The paper's four problems.
+    let problems: &[(&str, f64, usize)] = &[
+        ("1.99M elements", 1.99e6, 65536),
+        ("32.7M elements", 32.7e6, 65536),
+        ("531M elements", 531e6, 65536),
+        ("2.24B elements", 2.24e9, 65536),
+    ];
+    let mut table = Table::new(&["#cores", "1.99M", "32.7M", "531M", "2.24B"]);
+    let cores = paper_core_counts(65536);
+    // Strong scaling model: T(P) = W/P + comm(P) with per-rank p2p volume
+    // shrinking as the (N/P)^(2/3) partition surface.
+    let t_of = |n_elem: f64, p: usize| -> f64 {
+        let w = n_elem * steps as f64 * flops_per_elem_step;
+        let mut s = stats4.clone();
+        // Point-to-point traffic in this workload is dominated by the
+        // bulk element movement of PartitionTree, which is proportional
+        // to the per-rank *volume*; ghost-surface traffic shrinks faster
+        // and is folded into the same scaling conservatively.
+        let shrink = (n_elem / p as f64) / (n_small as f64 / 4.0);
+        s.p2p_bytes = (s.p2p_bytes as f64 * shrink) as u64;
+        machine.t_fem_flops(w / p as f64) + machine.t_comm(&s, p)
+    };
+    for &p in &cores {
+        let mut cells = vec![p.to_string()];
+        for &(_, n, _) in problems {
+            // Paper baselines: small from 1, medium from 16, large from
+            // 256, very large from 4096 cores; report speedup vs. 1 core
+            // for a single consistent curve.
+            let speedup = t_of(n, 1) / t_of(n, p);
+            cells.push(format!("{speedup:.1}"));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!();
+    println!("paper shape anchors: small 366× @512, medium 52× over 16→1024,");
+    println!("large 101× over 256→32768, very large 11.5× over 4096→61440.");
+    let anchors = [
+        ("small  @512 vs 1", t_of(1.99e6, 1) / t_of(1.99e6, 512)),
+        ("medium @1024 vs 16", t_of(32.7e6, 16) / t_of(32.7e6, 1024)),
+        ("large  @32768 vs 256", t_of(531e6, 256) / t_of(531e6, 32768)),
+        ("vlarge @61440 vs 4096", t_of(2.24e9, 4096) / t_of(2.24e9, 61440 / 4096 * 4096)),
+    ];
+    for (label, s) in anchors {
+        println!("modeled {label}: {s:.1}×");
+    }
+    println!("\nproblem sizes (paper): {}", problems.iter().map(|p| human(p.1 as u64)).collect::<Vec<_>>().join(", "));
+    println!(
+        "\nmodel caveat: the α–β network model gives an *upper bound* on speedup — the\n\
+         paper's measured anchors sit lower because dynamic load imbalance and fat-tree\n\
+         contention are not first-principles-modelable here. The reproduced shape is the\n\
+         ordering: smaller problems fall off ideal earlier (see the 1.99M column bend\n\
+         first), and the very large problem still scales at the full machine."
+    );
+}

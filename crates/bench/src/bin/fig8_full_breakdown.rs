@@ -1,0 +1,112 @@
+//! Fig. 8 — Per-time-step runtime breakdown of the *full* mantle
+//! convection code under isogranular (weak) scaling.
+//!
+//! Paper: ~50K elements/core, 1 → 16,384 cores, mesh adapted every 16
+//! steps. The Stokes solve dominates (>95%); AMR, explicit transport and
+//! the MINRES element kernels scale nearly ideally, while AMG setup and
+//! V-cycle times grow with scale.
+//!
+//! Here: the full RHEA loop (Stokes + transport + AMR) runs for real at
+//! host scale to measure the per-phase local profile; the machine model
+//! adds per-phase communication at each paper core count. AMG's modeled
+//! growth reflects its extra coarse-level collectives (log²P), the
+//! paper's observed trend.
+
+use rhea::timers::Phase;
+use rhea_bench::{banner, convection_workload, paper_core_counts, Table};
+use scomm::MachineModel;
+
+fn main() {
+    banner("Figure 8", "Full mantle convection: per-time-step runtime breakdown");
+    let steps = 6;
+    let adapt_every = 3; // paper: 16; scaled to the short run
+    let (timers, n_elem, minres_iters) = convection_workload(1, 4, steps, adapt_every);
+    let machine = MachineModel::ranger();
+    println!(
+        "measured serial run: {n_elem} elements, {steps} steps, {minres_iters} MINRES iterations\n"
+    );
+
+    let host_to_flops =
+        |sec: f64| sec * machine.fem_efficiency * machine.peak_flops_per_core;
+    let elem_per_core = n_elem as f64;
+    let surface_bytes = 8.0 * 6.0 * elem_per_core.powf(2.0 / 3.0) * 8.0;
+
+    // Per-step communication model for the numerical phases: every MINRES
+    // iteration needs 1 ghost exchange + 2 allreduces; every V-cycle
+    // crosses ~L levels with an allreduce each (block-Jacobi AMG keeps
+    // V-cycles local; the setup allgathers grow with log P).
+    let iters_per_step = minres_iters as f64 / steps as f64;
+    let comm_per_step = |phase: Phase, p: usize| -> f64 {
+        if p == 1 {
+            return 0.0;
+        }
+        let a2a = machine.t_alltoallv(surface_bytes, 26);
+        let ar = machine.t_allreduce(8.0, p);
+        let lg = (p as f64).log2().ceil();
+        match phase {
+            Phase::Minres => iters_per_step * (a2a + 2.0 * ar),
+            Phase::AmgSolve => iters_per_step * 3.0 * lg * ar, // level sweep barriers
+            Phase::AmgSetup => (1.0 / adapt_every as f64) * lg * lg * (ar + a2a),
+            Phase::TimeIntegration => 4.0 * a2a,
+            Phase::BalanceTree => (6.0 * (a2a + ar)) / adapt_every as f64,
+            Phase::PartitionTree => (4.0 * a2a + ar) / adapt_every as f64,
+            Phase::ExtractMesh => (5.0 * a2a + 4.0 * ar) / adapt_every as f64,
+            Phase::MarkElements => 40.0 * ar / adapt_every as f64,
+            Phase::TransferFields => 2.0 * a2a / adapt_every as f64,
+            _ => 0.0,
+        }
+    };
+
+    let mut table = Table::new(&[
+        "#cores",
+        "AMR s/step",
+        "TimeInt s/step",
+        "MINRES s/step",
+        "AMGSetup s/step",
+        "AMGSolve s/step",
+        "total s/step",
+        "Stokes %",
+    ]);
+    for &p in &paper_core_counts(16384) {
+        let per_step = |ph: Phase| -> f64 {
+            machine.t_fem_flops(host_to_flops(timers.get(ph))) / steps as f64
+                + comm_per_step(ph, p)
+        };
+        let amr: f64 = Phase::ALL
+            .iter()
+            .filter(|ph| ph.is_amr())
+            .map(|&ph| per_step(ph))
+            .sum();
+        let ti = per_step(Phase::TimeIntegration);
+        let mr = per_step(Phase::Minres);
+        let ags = per_step(Phase::AmgSetup);
+        let agv = per_step(Phase::AmgSolve);
+        let total = amr + ti + mr + ags + agv;
+        let stokes_pct = 100.0 * (mr + ags + agv) / total;
+        table.row(&[
+            p.to_string(),
+            format!("{amr:.3}"),
+            format!("{ti:.3}"),
+            format!("{mr:.3}"),
+            format!("{ags:.3}"),
+            format!("{agv:.3}"),
+            format!("{total:.3}"),
+            format!("{stokes_pct:.1}"),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("measured serial phase profile:");
+    for ph in Phase::ALL {
+        let s = timers.get(ph);
+        if s > 0.0 {
+            println!("  {:<18} {:8.3} s total ({:.4} s/step)", ph.label(), s, s / steps as f64);
+        }
+    }
+    println!();
+    println!(
+        "paper shape anchors: Stokes (MINRES + AMG) > 95% of runtime at every\n\
+         scale; AMR and explicit transport negligible and flat; AMG setup and\n\
+         V-cycle grow with core count."
+    );
+}

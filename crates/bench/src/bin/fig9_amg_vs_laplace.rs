@@ -1,0 +1,169 @@
+//! Fig. 9 — AMG preconditioner scaling: variable-viscosity FEM Poisson
+//! on an adapted octree mesh vs. a 7-point Laplacian on a regular grid.
+//!
+//! Paper: one AMG setup + 160 V-cycles per data point, ~50K
+//! elements/core; the simple Laplace stencil runs faster in absolute
+//! terms but shows the *same* scaling behaviour as the harder
+//! variable-viscosity adapted-mesh Poisson — hence AMG itself, not the
+//! FEM/adaptivity machinery, sets the scaling limit.
+//!
+//! Here: both operators are assembled for real at a ladder of sizes;
+//! setup + 160 V-cycles are timed on the host, and the machine model adds
+//! the large-scale communication terms of a weakly-scaled run.
+
+use la::{Amg, AmgOptions, Csr};
+use mesh::extract::extract_mesh;
+use octree::balance::BalanceKind;
+use octree::parallel::DistOctree;
+use rhea_bench::{banner, human, paper_core_counts, Table};
+use scomm::{spmd, MachineModel};
+
+/// 7-point Laplacian on an n³ regular grid.
+fn laplace_7pt(n: usize) -> Csr {
+    let id = |i: usize, j: usize, k: usize| i + n * (j + n * k);
+    let mut t = Vec::new();
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                let c = id(i, j, k);
+                let mut diag = 6.0;
+                let mut nb = |ii: i64, jj: i64, kk: i64| {
+                    if ii >= 0 && jj >= 0 && kk >= 0 && ii < n as i64 && jj < n as i64 && kk < n as i64 {
+                        t.push((c, id(ii as usize, jj as usize, kk as usize), -1.0));
+                    } else {
+                        diag += 0.0; // Dirichlet truncation keeps diag 6
+                    }
+                };
+                nb(i as i64 - 1, j as i64, k as i64);
+                nb(i as i64 + 1, j as i64, k as i64);
+                nb(i as i64, j as i64 - 1, k as i64);
+                nb(i as i64, j as i64 + 1, k as i64);
+                nb(i as i64, j as i64, k as i64 - 1);
+                nb(i as i64, j as i64, k as i64 + 1);
+                t.push((c, c, diag));
+            }
+        }
+    }
+    Csr::from_triplets(n * n * n, n * n * n, &t)
+}
+
+/// Variable-viscosity FEM Poisson owned block on an adapted mesh.
+fn adapted_poisson(level: u8) -> Csr {
+    let out = spmd::run(1, move |c| {
+        let mut t = DistOctree::new_uniform(c, level);
+        t.refine(|o| o.center_unit()[0] < 0.4);
+        t.balance(BalanceKind::Full);
+        let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+        let map = fem::op::DofMap::new(&m, c, 1);
+        let mref = &m;
+        let src = move |e: usize, outm: &mut [f64]| {
+            let ctr = mref.elements[e].center_unit();
+            let eta = if ctr[2] > 0.5 { 1e4 } else { 1.0 };
+            let k = fem::element::stiffness_matrix(mref.element_size(e), eta);
+            for i in 0..8 {
+                for j in 0..8 {
+                    outm[i * 8 + j] = k[i][j];
+                }
+            }
+        };
+        let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
+        fem::assembly::assemble_owned_block(&map, &src, Some(&bc))
+    });
+    out.into_iter().next().unwrap()
+}
+
+fn time_amg(a: Csr) -> (usize, f64, f64, usize) {
+    let n = a.nrows;
+    let t0 = std::time::Instant::now();
+    let amg = Amg::new(a, AmgOptions::default());
+    let setup = t0.elapsed().as_secs_f64();
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let t1 = std::time::Instant::now();
+    for _ in 0..160 {
+        amg.vcycle(&b, &mut x);
+    }
+    let cycles = t1.elapsed().as_secs_f64();
+    (n, setup, cycles, amg.num_levels())
+}
+
+fn main() {
+    banner(
+        "Figure 9",
+        "AMG setup + 160 V-cycles: variable-viscosity FEM Poisson vs 7-point Laplace",
+    );
+    let mut table = Table::new(&[
+        "operator",
+        "n (dofs)",
+        "levels",
+        "setup s",
+        "160 V-cycles s",
+        "total s",
+    ]);
+    let mut fem_rows = Vec::new();
+    for level in [2u8, 3] {
+        let (n, s, v, l) = time_amg(adapted_poisson(level));
+        fem_rows.push((n, s + v));
+        table.row(&[
+            "adapted FEM Poisson".into(),
+            human(n as u64),
+            l.to_string(),
+            format!("{s:.3}"),
+            format!("{v:.3}"),
+            format!("{:.3}", s + v),
+        ]);
+    }
+    let mut lap_rows = Vec::new();
+    for n1 in [12usize, 20] {
+        let (n, s, v, l) = time_amg(laplace_7pt(n1));
+        lap_rows.push((n, s + v));
+        table.row(&[
+            "7-point Laplace".into(),
+            human(n as u64),
+            l.to_string(),
+            format!("{s:.3}"),
+            format!("{v:.3}"),
+            format!("{:.3}", s + v),
+        ]);
+    }
+    table.print();
+
+    // Modeled weak-scaling curve: both operators share the same AMG
+    // communication skeleton (level-sweep collectives), so their curves
+    // are parallel — the paper's observation.
+    println!();
+    println!("modeled weak scaling of total preconditioning time (setup + 160 V):");
+    let machine = MachineModel::ranger();
+    let mut m = Table::new(&["#cores", "Laplace 7pt (s)", "variable-η FEM (s)", "ratio"]);
+    // Per-dof host costs from the largest measured rows.
+    let fem_per_dof = fem_rows.last().unwrap().1 / fem_rows.last().unwrap().0 as f64;
+    let lap_per_dof = lap_rows.last().unwrap().1 / lap_rows.last().unwrap().0 as f64;
+    let dofs_per_core = 50_000.0; // the paper's granularity
+    let to_model = |sec: f64| sec * machine.fem_efficiency * machine.peak_flops_per_core;
+    for &p in &paper_core_counts(16384) {
+        let lg = (p.max(2) as f64).log2().ceil();
+        let comm = if p == 1 {
+            0.0
+        } else {
+            // ~6 hierarchy levels × (smoother halo + coarse allreduce)
+            // per V-cycle, 160 cycles + setup collectives.
+            160.0 * 6.0 * (machine.t_alltoallv(4096.0, 6) + machine.t_allreduce(8.0, p))
+                + lg * lg * machine.t_allreduce(1024.0, p)
+        };
+        let lap = machine.t_fem_flops(to_model(lap_per_dof) * dofs_per_core) + comm;
+        let femt = machine.t_fem_flops(to_model(fem_per_dof) * dofs_per_core) + comm;
+        m.row(&[
+            p.to_string(),
+            format!("{lap:.2}"),
+            format!("{femt:.2}"),
+            format!("{:.2}", femt / lap),
+        ]);
+    }
+    m.print();
+    println!();
+    println!(
+        "paper shape anchors: the Laplace curve sits below the variable-viscosity\n\
+         FEM curve by a roughly constant factor, and both grow together at scale —\n\
+         AMG communication, not the operator, limits scaling."
+    );
+}

@@ -1,0 +1,123 @@
+//! Section VI — Mantle convection with plastic yielding at plate
+//! boundaries: the paper's headline application run.
+//!
+//! Paper: 8×4×1 Cartesian domain (≈ 23,200 km × 11,600 km × 2,900 km),
+//! three-layer temperature-dependent viscosity with yielding
+//! (lithosphere / aesthenosphere / lower mantle), viscosity range over
+//! four orders of magnitude; 19.2M elements across 14 octree levels on
+//! 2400 cores, finest resolution ≈ 1.5 km in the yielding zones — more
+//! than 1000× fewer elements than the uniform level-13 mesh.
+//!
+//! Here: the same physics at reduced resolution, reporting the same
+//! quantities — viscosity range, level span, finest resolution in km,
+//! and the element-reduction factor vs. a uniform mesh at the deepest
+//! level used.
+
+use rhea::convection::{ConvectionParams, ConvectionSim};
+use rhea::rheology::{ViscosityLaw, YieldingLaw};
+use rhea_bench::{banner, human, Table};
+use scomm::spmd;
+
+/// Dimensional width of the paper's domain (km) along x.
+const DOMAIN_X_KM: f64 = 23_200.0;
+
+fn main() {
+    banner("Section VI", "Mantle convection with yielding: AMR statistics");
+    let steps = 10;
+    let max_level = 7u8;
+    let out = spmd::run(2, move |c| {
+        let params = ConvectionParams {
+            rayleigh: 1e6,
+            domain: [8.0, 4.0, 1.0],
+            adapt_every: 2,
+            adapt: rhea::adapt::AdaptParams {
+                target_elements: 6000,
+                max_level,
+                min_level: 1,
+                ..Default::default()
+            },
+            transport: rhea::transport::TransportParams {
+                kappa: 1.0,
+                source: 0.0,
+                cfl: 0.4,
+            },
+            stokes: stokes::StokesOptions { tol: 1e-5, max_iter: 300, ..Default::default() },
+            picard_steps: 2,
+        };
+        let mut sim = ConvectionSim::new(c, 2, params);
+        let law = YieldingLaw { yield_stress: 1.0, exponent: 6.9 };
+        for _ in 0..steps {
+            let rep = sim.step(&law);
+            assert!(rep.t_min > -0.2 && rep.t_max < 1.2, "temperature bounded");
+        }
+        // Diagnostics.
+        let eta_min = sim.viscosity.iter().cloned().fold(f64::INFINITY, f64::min);
+        let eta_max = sim.viscosity.iter().cloned().fold(0.0f64, f64::max);
+        let gmin = c.allreduce_min(&[eta_min])[0];
+        let gmax = c.allreduce_max(&[eta_max])[0];
+        let hist = octree::ops::level_histogram(&sim.tree.local);
+        let ghist = c.allreduce_sum(&hist);
+        (sim.tree.global_count(), gmin, gmax, ghist)
+    });
+    let (n_elem, eta_min, eta_max, hist) = out[0].clone();
+
+    let min_level = hist.iter().position(|&n| n > 0).unwrap_or(0);
+    let max_used = hist.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let finest_km = DOMAIN_X_KM / (1u64 << max_used) as f64;
+    let uniform = 8u64.pow(max_used as u32);
+    let reduction = uniform as f64 / n_elem as f64;
+
+    let mut table = Table::new(&["quantity", "this run", "paper"]);
+    table.row(&[
+        "elements".into(),
+        human(n_elem),
+        "19.2M".into(),
+    ]);
+    table.row(&[
+        "octree levels".into(),
+        format!("{}–{} ({} levels)", min_level, max_used, max_used - min_level + 1),
+        "up to 14".into(),
+    ]);
+    table.row(&[
+        "finest resolution".into(),
+        format!("{finest_km:.0} km"),
+        "≈1.5 km".into(),
+    ]);
+    table.row(&[
+        "viscosity range".into(),
+        format!("{:.1e} – {:.1e} ({:.0e}×)", eta_min, eta_max, eta_max / eta_min),
+        "4 orders of magnitude".into(),
+    ]);
+    table.row(&[
+        "vs uniform mesh at deepest level".into(),
+        format!("{}× fewer elements", reduction.round()),
+        ">1000× (level 13)".into(),
+    ]);
+    table.print();
+
+    println!();
+    println!("elements per level:");
+    for (l, &n) in hist.iter().enumerate() {
+        if n > 0 {
+            println!("  level {l:>2}: {n}");
+        }
+    }
+    println!();
+    // Verify the yielding law's structure at the run's conditions.
+    let law = YieldingLaw { yield_stress: 1.0, exponent: 6.9 };
+    println!(
+        "rheology sanity: cold lithosphere η = {}, hot yielded lithosphere η = {:.3},\n\
+         cold lower mantle η = {}",
+        law.eta(0.0, 0.95, 0.0),
+        law.eta(1.0, 0.95, 5.0),
+        law.eta(0.0, 0.5, 0.0),
+    );
+    println!(
+        "\nshape check: AMR concentrates resolution in the thermal boundary layers\n\
+         and yielding zones, spanning {} octree levels and cutting the element count\n\
+         {}× against the uniform alternative — the paper's three-orders-of-magnitude\n\
+         saving at its (much deeper) target resolution.",
+        max_used - min_level + 1,
+        reduction.round(),
+    );
+}

@@ -1,0 +1,115 @@
+//! Section VII / Fig. 12 — high-order DG advection on the cubed sphere
+//! with forest-of-octrees adaptivity.
+//!
+//! Paper: a spherical front advected on the 24-octree cubed-sphere shell
+//! using p = 1 elements on 1024 cores (Fig. 12); weak-scaling parallel
+//! efficiency of 90% at 16,384 cores for p = 4 and 83% at 32,768 cores
+//! for p = 6, adapting every 32 steps.
+//!
+//! Here: the real DG solver advects a front by solid-body rotation on
+//! the 24-tree cubed sphere across simulated ranks (exercising the
+//! inter-tree face transforms and ghost exchanges), then the machine
+//! model produces the weak-scaling efficiency ladder for p = 4 and
+//! p = 6 from the measured per-element cost and communication profile.
+
+use forest::{Connectivity, Forest};
+use mangll::advection::{DgAdvection, DgParams};
+use mangll::kernels::tensor_derivative_flops;
+use rhea_bench::{banner, paper_core_counts, Table};
+use scomm::{spmd, MachineModel};
+use std::sync::Arc;
+
+fn main() {
+    banner("Section VII / Fig. 12", "DG advection on the cubed sphere (24 octrees)");
+    let conn = Arc::new(Connectivity::cubed_sphere(0.55, 1.0));
+    let nsteps = 20;
+    let order = 2;
+    let t0 = std::time::Instant::now();
+    let (out, stats) = spmd::run_with_stats(4, {
+        let conn = conn.clone();
+        move |c| {
+            let f = Forest::new_uniform(c, conn.clone(), 1);
+            let init = |q: [f64; 3]| {
+                let r = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2]).sqrt();
+                let d2 =
+                    (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
+                (-d2 / 0.05).exp()
+            };
+            let mut dg = DgAdvection::new(
+                &f,
+                DgParams { order, cfl: 0.25, ..Default::default() },
+                init,
+                |q| [-q[1], q[0], 0.0], // solid-body rotation about z
+            );
+            let m0 = dg.total_mass();
+            let dt = dg.stable_dt();
+            for _ in 0..nsteps {
+                dg.step(dt);
+            }
+            let m1 = dg.total_mass();
+            let umax = dg.u.iter().cloned().fold(0.0f64, f64::max);
+            let gmax = c.allreduce_max(&[umax])[0];
+            (f.global_count(), m0, m1, gmax, dt * nsteps as f64)
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let (n_elem, m0, m1, umax, t_sim) = out[0];
+    println!(
+        "real run: {} elements (24 trees), p = {order}, {nsteps} RK45 steps, rotation angle {:.2} rad",
+        n_elem, t_sim
+    );
+    println!(
+        "front max {umax:.3} (bounded), mass drift {:.2}% (faceted-geometry mortar),",
+        100.0 * (m1 - m0).abs() / m0.abs().max(1e-300)
+    );
+    println!(
+        "per-rank comm per step: {:.0} msgs, {:.0} KB\n",
+        stats[0].p2p_messages as f64 / nsteps as f64,
+        stats[0].p2p_bytes as f64 / nsteps as f64 / 1024.0
+    );
+
+    // Weak-scaling efficiency ladder (machine model): per-core work fixed
+    // at the paper's granularity; communication = face exchanges (5 RK
+    // stages) + curve-partition collectives.
+    let machine = MachineModel::ranger();
+    let elems_per_core = 400.0;
+    let host_per_elem_step = wall / (n_elem as f64 * nsteps as f64);
+    let mut table = Table::new(&["#cores", "p=4 efficiency", "p=6 efficiency"]);
+    let eff = |p_order: usize, cores: usize| -> f64 {
+        let n1 = (p_order + 1) as f64;
+        let flops = elems_per_core
+            * (tensor_derivative_flops(p_order) as f64 + 40.0 * n1.powi(3));
+        // Scale measured per-element cost by the order-dependent work.
+        let scale = flops
+            / (elems_per_core
+                * (tensor_derivative_flops(order) as f64
+                    + 40.0 * ((order + 1) as f64).powi(3)));
+        let w = host_per_elem_step
+            * machine.fem_efficiency
+            * machine.peak_flops_per_core
+            * elems_per_core
+            * scale;
+        let t1 = machine.t_fem_flops(w);
+        if cores == 1 {
+            return 1.0;
+        }
+        let face_bytes = 5.0 * 6.0 * elems_per_core.powf(2.0 / 3.0) * n1 * n1 * 8.0;
+        let comm = 5.0 * machine.t_alltoallv(face_bytes, 26)
+            + 2.0 * machine.t_allreduce(8.0, cores);
+        t1 / (t1 + comm)
+    };
+    for &p in &paper_core_counts(32768) {
+        table.row(&[
+            p.to_string(),
+            format!("{:.2}", eff(4, p)),
+            format!("{:.2}", eff(6, p)),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "paper anchors: 90% parallel efficiency at 16,384 cores (p = 4, vs 64),\n\
+         83% at 32,768 cores (p = 6, vs 32), adapting every 32 steps; higher order\n\
+         ⇒ more interior work per face byte ⇒ better efficiency."
+    );
+}

@@ -1,0 +1,157 @@
+//! Shared harness utilities for the paper-figure reproductions.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). The harnesses run the *real*
+//! distributed algorithms on simulated ranks at host scale, then use the
+//! calibrated Ranger [`scomm::MachineModel`] to extend the series to the
+//! paper's core counts (DESIGN.md substitution #1). Measured rows are
+//! tagged `measured`; extrapolated rows are tagged `modeled`.
+
+use scomm::{CommStats, MachineModel};
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, paper: &str) {
+    println!("==================================================================");
+    println!("{id} — {paper}");
+    println!("==================================================================");
+}
+
+/// Human-readable element/dof counts (paper style: 67.2K, 2.06M, 1.07B).
+pub fn human(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// The core counts the paper sweeps (Figs. 6–8): powers of two plus the
+/// odd-sized full-machine runs.
+pub fn paper_core_counts(max: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..=16).map(|k| 1usize << k).take_while(|&c| c <= max).collect();
+    if max >= 62464 && !v.contains(&62464) {
+        v.push(62464);
+    }
+    v
+}
+
+/// Modeled end-to-end time for one rank of a bulk-synchronous phase:
+/// local work (perfectly partitioned) plus the communication model
+/// applied to per-rank message statistics.
+pub fn modeled_phase_time(
+    machine: &MachineModel,
+    flops_per_rank: f64,
+    stats: &CommStats,
+    cores: usize,
+) -> f64 {
+    machine.t_fem_flops(flops_per_rank) + machine.t_comm(stats, cores)
+}
+
+/// Scale a measured per-rank communication record to a different world
+/// size, holding per-rank volume fixed (weak scaling) — collective counts
+/// stay, point-to-point volume stays; the model adds the log(P) factors.
+pub fn weak_scale_stats(stats: &CommStats) -> CommStats {
+    stats.clone()
+}
+
+/// A simple aligned table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human(532), "532");
+        assert_eq!(human(67_200), "67.2K");
+        assert_eq!(human(2_060_000), "2.06M");
+        assert_eq!(human(1_070_000_000), "1.07B");
+    }
+
+    #[test]
+    fn core_counts_include_full_machine() {
+        let v = paper_core_counts(62464);
+        assert!(v.contains(&1) && v.contains(&16384) && v.contains(&62464));
+        let w = paper_core_counts(8);
+        assert_eq!(w, vec![1, 2, 4, 8]);
+    }
+}
+
+/// Shared full-convection workload used by the Fig. 8 and Fig. 10
+/// harnesses: runs RHEA (Stokes + transport + AMR every `adapt_every`
+/// steps) on `ranks` simulated ranks and returns rank 0's phase timers,
+/// the element count, and total MINRES iterations.
+pub fn convection_workload(
+    ranks: usize,
+    level: u8,
+    steps: usize,
+    adapt_every: usize,
+) -> (rhea::timers::PhaseTimers, u64, usize) {
+    use rhea::convection::{ConvectionParams, ConvectionSim};
+    use rhea::rheology::ArrheniusLaw;
+    let out = scomm::spmd::run(ranks, move |c| {
+        let params = ConvectionParams {
+            rayleigh: 1e5,
+            adapt_every,
+            adapt: rhea::adapt::AdaptParams {
+                target_elements: 8 * 8u64.pow(level as u32 - 1),
+                max_level: level + 2,
+                min_level: 1,
+                ..Default::default()
+            },
+            stokes: stokes::StokesOptions { tol: 1e-6, max_iter: 500, ..Default::default() },
+            picard_steps: 1,
+            ..Default::default()
+        };
+        let mut sim = ConvectionSim::new(c, level, params);
+        let law = ArrheniusLaw::default();
+        let mut iters = 0;
+        for _ in 0..steps {
+            let rep = sim.step(&law);
+            iters += rep.minres_iterations;
+        }
+        (sim.timers.clone(), sim.tree.global_count(), iters)
+    });
+    out[0].clone()
+}

@@ -1,0 +1,29 @@
+//! # fem — trilinear hexahedral finite elements on octree meshes
+//!
+//! The discretization layer of the reproduction (paper Section III):
+//! trilinear Lagrange elements for all fields on octree-derived hex
+//! meshes, with
+//!
+//! * element matrices on axis-aligned boxes: mass, variable-coefficient
+//!   stiffness, advection with SUPG stabilization (Brooks–Hughes), the
+//!   variable-viscosity viscous (strain-rate) block, discrete divergence,
+//!   and the Dohrmann–Bochev polynomial-pressure-projection stabilization
+//!   used to circumvent the inf-sup condition for equal-order
+//!   velocity–pressure pairs;
+//! * element-level application of the hanging-node constraints `CᵀKC`;
+//! * distributed matrix-free operator application (ghost exchange →
+//!   element kernels → reverse accumulation), which is how the paper's
+//!   MINRES applies the Stokes operator;
+//! * assembly of the rank-local owned-block CSR (all global contributions
+//!   to owned rows/columns) feeding the block-Jacobi AMG preconditioner.
+
+pub mod assembly;
+pub mod element;
+pub mod op;
+
+pub use assembly::{assemble_owned_block, ElementMatrixSource};
+pub use element::{
+    advection_matrix, divergence_matrix, mass_matrix, pressure_stabilization,
+    stiffness_matrix, supg_matrices, supg_tau, viscous_matrix, GAUSS_2,
+};
+pub use op::{DistOp, DofMap};

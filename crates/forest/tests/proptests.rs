@@ -1,0 +1,74 @@
+//! Property-based tests for the forest-of-octrees layer.
+
+use forest::{Connectivity, Forest};
+use octree::balance::BalanceKind;
+use proptest::prelude::*;
+use scomm::spmd;
+use std::sync::Arc;
+
+fn arb_brick() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..4, 1usize..3, 1usize..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn brick_connectivities_validate((nx, ny, nz) in arb_brick()) {
+        let c = Connectivity::brick(nx, ny, nz);
+        prop_assert_eq!(c.num_trees(), nx * ny * nz);
+        prop_assert!(c.validate());
+        // Total face connections = internal faces × 2 sides.
+        let internal = (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
+        let mut count = 0;
+        for t in 0..c.num_trees() as u32 {
+            for f in 0..6 {
+                if c.neighbor_across(t, f).is_some() {
+                    count += 1;
+                }
+            }
+        }
+        prop_assert_eq!(count, 2 * internal);
+    }
+
+    #[test]
+    fn random_forest_refinement_stays_valid(
+        (nx, ny, nz) in arb_brick(),
+        seed in any::<u64>(),
+        ranks in 1usize..4,
+    ) {
+        let conn = Arc::new(Connectivity::brick(nx, ny, nz));
+        spmd::run(ranks, move |c| {
+            let mut f = Forest::new_uniform(c, conn.clone(), 1);
+            let mut h = seed | 1;
+            f.refine(|l| {
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                (h.wrapping_add(l.oct.key())) % 5 == 0
+            });
+            f.balance(BalanceKind::Full);
+            f.partition();
+            assert!(f.validate());
+            // Neighbor relation is symmetric through transforms: the
+            // neighbor's neighbor in the reverse direction contains us.
+            for l in f.local.iter().take(20) {
+                for (dx, dy, dz) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+                    if let Some(n) = f.neighbor(l, dx, dy, dz) {
+                        if let Some(back) = f.neighbor(&n, -dx, -dy, -dz) {
+                            assert_eq!(back.tree, l.tree, "round trip tree");
+                            assert_eq!(back.oct, l.oct, "round trip octant");
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn cubed_sphere_radii_validate(r0 in 0.2f64..0.8, dr in 0.1f64..1.0) {
+        let c = Connectivity::cubed_sphere(r0, r0 + dr);
+        prop_assert_eq!(c.num_trees(), 24);
+        prop_assert!(c.validate());
+    }
+}

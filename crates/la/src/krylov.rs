@@ -1,0 +1,364 @@
+//! Krylov solvers: preconditioned MINRES (Paige–Saunders) and CG.
+//!
+//! MINRES is the paper's outer solver for the stabilized Stokes saddle
+//! point system (Section III): each iteration applies the Stokes operator
+//! once, stores a handful of vectors, and takes two inner products. The
+//! preconditioner must be symmetric positive definite; the implementation
+//! follows Elman–Silvester–Wathen, *Finite Elements and Fast Iterative
+//! Solvers* (the paper's reference [11]).
+//!
+//! Both solvers are written against the [`LinearOp`] trait plus a
+//! caller-supplied inner product, so the same code runs serially and
+//! distributed (where the dot product performs a global reduction and the
+//! operator exchanges ghost values).
+
+/// An abstract linear operator `y = A x` on vectors of fixed length.
+pub trait LinearOp {
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A `(len, closure)` pair is an operator.
+impl<F: Fn(&[f64], &mut [f64])> LinearOp for (usize, F) {
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (self.1)(x, y)
+    }
+    fn len(&self) -> usize {
+        self.0
+    }
+}
+
+impl LinearOp for crate::csr::Csr {
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y);
+    }
+    fn len(&self) -> usize {
+        self.nrows
+    }
+}
+
+/// Convergence report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveInfo {
+    pub iterations: usize,
+    pub converged: bool,
+    /// Final residual norm estimate (preconditioned norm for MINRES).
+    pub residual: f64,
+}
+
+/// Serial Euclidean inner product (the default `dot` hook).
+pub fn euclidean_dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Preconditioned MINRES for symmetric (possibly indefinite) `A` with SPD
+/// preconditioner applied by `m_inv ≈ A⁻¹`. Solves `A x = b`; the initial
+/// content of `x` is the starting guess. Converges when the
+/// preconditioned residual norm drops below `tol` times its initial
+/// value.
+#[allow(clippy::too_many_arguments)]
+pub fn minres<A, M, D>(
+    a: &A,
+    m_inv: Option<&M>,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    dot: D,
+) -> SolveInfo
+where
+    A: LinearOp + ?Sized,
+    M: LinearOp + ?Sized,
+    D: Fn(&[f64], &[f64]) -> f64,
+{
+    let n = b.len();
+    let apply_m = |r: &[f64], z: &mut [f64]| match m_inv {
+        Some(m) => m.apply(r, z),
+        None => z.copy_from_slice(r),
+    };
+
+    // r1 = b − A x ; z1 = M⁻¹ r1 ; γ1 = sqrt(<z1, r1>).
+    let mut r0 = vec![0.0; n]; // previous Lanczos residual
+    let mut r1 = vec![0.0; n];
+    a.apply(x, &mut r1);
+    for i in 0..n {
+        r1[i] = b[i] - r1[i];
+    }
+    let mut z1 = vec![0.0; n];
+    apply_m(&r1, &mut z1);
+    let g2 = dot(&z1, &r1);
+    assert!(
+        g2 >= -1e-12 * dot(&r1, &r1).max(1.0),
+        "MINRES preconditioner is not positive definite"
+    );
+    let mut gamma1 = g2.max(0.0).sqrt();
+    let gamma_init = gamma1;
+    if gamma1 == 0.0 {
+        return SolveInfo { iterations: 0, converged: true, residual: 0.0 };
+    }
+    let mut gamma0 = 1.0f64; // γ0 (unused weight on the vanishing j=1 term)
+
+    let mut eta = gamma1;
+    let (mut s0, mut s1) = (0.0f64, 0.0f64);
+    let (mut c0, mut c1) = (1.0f64, 1.0f64);
+    let mut w0 = vec![0.0; n];
+    let mut w1 = vec![0.0; n];
+    let mut az = vec![0.0; n];
+
+    for iter in 1..=max_iter {
+        // Lanczos step.
+        let inv_g = 1.0 / gamma1;
+        for zi in z1.iter_mut() {
+            *zi *= inv_g;
+        }
+        a.apply(&z1, &mut az);
+        let delta = dot(&az, &z1);
+        let mut r2 = az.clone();
+        for i in 0..n {
+            r2[i] -= (delta / gamma1) * r1[i];
+        }
+        if iter > 1 {
+            for i in 0..n {
+                r2[i] -= (gamma1 / gamma0) * r0[i];
+            }
+        }
+        let mut z2 = vec![0.0; n];
+        apply_m(&r2, &mut z2);
+        let gamma2 = dot(&z2, &r2).max(0.0).sqrt();
+
+        // Givens rotations.
+        let alpha0 = c1 * delta - c0 * s1 * gamma1;
+        let alpha1 = (alpha0 * alpha0 + gamma2 * gamma2).sqrt();
+        let alpha2 = s1 * delta + c0 * c1 * gamma1;
+        let alpha3 = s0 * gamma1;
+        c0 = c1;
+        s0 = s1;
+        c1 = alpha0 / alpha1;
+        s1 = gamma2 / alpha1;
+
+        // Solution update: w2 = (z1 − α3 w0 − α2 w1)/α1 ; x += c1 η w2.
+        let mut w2 = vec![0.0; n];
+        for i in 0..n {
+            w2[i] = (z1[i] - alpha3 * w0[i] - alpha2 * w1[i]) / alpha1;
+            x[i] += c1 * eta * w2[i];
+        }
+        eta = -s1 * eta;
+
+        // Shift state.
+        std::mem::swap(&mut r0, &mut r1);
+        r1 = r2;
+        z1 = z2;
+        gamma0 = gamma1;
+        gamma1 = gamma2;
+        w0 = w1;
+        w1 = w2;
+
+        if eta.abs() <= tol * gamma_init || gamma1 == 0.0 {
+            return SolveInfo { iterations: iter, converged: true, residual: eta.abs() };
+        }
+    }
+    SolveInfo { iterations: max_iter, converged: false, residual: eta.abs() }
+}
+
+/// Conjugate gradients for SPD `A` with optional SPD preconditioner.
+pub fn cg<A, M, D>(
+    a: &A,
+    m_inv: Option<&M>,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    dot: D,
+) -> SolveInfo
+where
+    A: LinearOp + ?Sized,
+    M: LinearOp + ?Sized,
+    D: Fn(&[f64], &[f64]) -> f64,
+{
+    let n = b.len();
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z = vec![0.0; n];
+    match m_inv {
+        Some(m) => m.apply(&r, &mut z),
+        None => z.copy_from_slice(&r),
+    }
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let norm_b = dot(b, b).sqrt().max(f64::MIN_POSITIVE);
+    let mut ap = vec![0.0; n];
+    for iter in 1..=max_iter {
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return SolveInfo { iterations: iter, converged: false, residual: rz.abs().sqrt() };
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rnorm = dot(&r, &r).sqrt();
+        if rnorm <= tol * norm_b {
+            return SolveInfo { iterations: iter, converged: true, residual: rnorm };
+        }
+        match m_inv {
+            Some(m) => m.apply(&r, &mut z),
+            None => z.copy_from_slice(&r),
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let rnorm = dot(&r, &r).sqrt();
+    SolveInfo { iterations: max_iter, converged: rnorm <= tol * norm_b, residual: rnorm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    /// SPD tridiagonal test matrix (1D Laplacian).
+    fn laplace1d(n: usize) -> Csr {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        Csr::from_triplets(n, n, &t)
+    }
+
+    /// A symmetric *indefinite* saddle-point-like matrix.
+    fn indefinite(n: usize) -> Csr {
+        let mut t = Vec::new();
+        for i in 0..n {
+            let d = if i < n / 2 { 2.0 } else { -1.5 };
+            t.push((i, i, d));
+            if i > 0 {
+                t.push((i, i - 1, 0.3));
+                t.push((i - 1, i, 0.3));
+            }
+        }
+        Csr::from_triplets(n, n, &t)
+    }
+
+    fn residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+        let mut r = vec![0.0; b.len()];
+        a.matvec(x, &mut r);
+        r.iter().zip(b).map(|(ri, bi)| (ri - bi).powi(2)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn cg_solves_spd() {
+        let a = laplace1d(50);
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
+        let info = cg(&a, None::<&Csr>, &b, &mut x, 1e-10, 500, euclidean_dot);
+        assert!(info.converged, "{info:?}");
+        assert!(residual(&a, &x, &b) < 1e-7);
+    }
+
+    #[test]
+    fn cg_with_jacobi_preconditioner_converges_faster() {
+        let n = 80;
+        // Badly scaled SPD diagonal + Laplacian.
+        let mut t = Vec::new();
+        for i in 0..n {
+            let scale = 10f64.powi((i % 5) as i32);
+            t.push((i, i, 2.0 * scale));
+            if i > 0 {
+                t.push((i, i - 1, -0.5));
+                t.push((i - 1, i, -0.5));
+            }
+        }
+        let a = Csr::from_triplets(n, n, &t);
+        let d = a.diagonal();
+        let jacobi = (n, move |x: &[f64], y: &mut [f64]| {
+            for i in 0..x.len() {
+                y[i] = x[i] / d[i];
+            }
+        });
+        let b = vec![1.0; n];
+        let mut x0 = vec![0.0; n];
+        let plain = cg(&a, None::<&Csr>, &b, &mut x0, 1e-10, 2000, euclidean_dot);
+        let mut x1 = vec![0.0; n];
+        let pre = cg(&a, Some(&jacobi), &b, &mut x1, 1e-10, 2000, euclidean_dot);
+        assert!(plain.converged && pre.converged);
+        assert!(pre.iterations < plain.iterations, "{} !< {}", pre.iterations, plain.iterations);
+    }
+
+    #[test]
+    fn minres_solves_spd_like_cg() {
+        let a = laplace1d(60);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut x = vec![0.0; 60];
+        let info = minres(&a, None::<&Csr>, &b, &mut x, 1e-10, 1000, euclidean_dot);
+        assert!(info.converged, "{info:?}");
+        assert!(residual(&a, &x, &b) < 1e-6, "res = {}", residual(&a, &x, &b));
+    }
+
+    #[test]
+    fn minres_solves_indefinite_system() {
+        let a = indefinite(40);
+        let b = vec![1.0; 40];
+        let mut x = vec![0.0; 40];
+        let info = minres(&a, None::<&Csr>, &b, &mut x, 1e-12, 2000, euclidean_dot);
+        assert!(info.converged, "{info:?}");
+        assert!(residual(&a, &x, &b) < 1e-8, "res = {}", residual(&a, &x, &b));
+    }
+
+    #[test]
+    fn minres_with_spd_preconditioner_on_indefinite_system() {
+        let a = indefinite(40);
+        // |diag| Jacobi is SPD and admissible for MINRES.
+        let d = a.diagonal();
+        let m = (40, move |x: &[f64], y: &mut [f64]| {
+            for i in 0..x.len() {
+                y[i] = x[i] / d[i].abs();
+            }
+        });
+        let b = vec![1.0; 40];
+        let mut x = vec![0.0; 40];
+        let info = minres(&a, Some(&m), &b, &mut x, 1e-12, 2000, euclidean_dot);
+        assert!(info.converged, "{info:?}");
+        assert!(residual(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_returns_immediately() {
+        let a = laplace1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![0.0; 10];
+        let info = minres(&a, None::<&Csr>, &b, &mut x, 1e-10, 100, euclidean_dot);
+        assert_eq!(info.iterations, 0);
+        assert!(info.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nonzero_initial_guess_is_used() {
+        let a = laplace1d(20);
+        let b = vec![1.0; 20];
+        // Solve once, restart from the solution: 0 extra progress needed.
+        let mut x = vec![0.0; 20];
+        cg(&a, None::<&Csr>, &b, &mut x, 1e-12, 500, euclidean_dot);
+        let mut y = x.clone();
+        let info = minres(&a, None::<&Csr>, &b, &mut y, 1e-8, 100, euclidean_dot);
+        assert!(info.iterations <= 2, "warm start should converge immediately");
+    }
+}

@@ -1,0 +1,239 @@
+//! Element derivative kernels: the Section VII performance experiment.
+//!
+//! The reference-space gradient of a nodal field on one hexahedral
+//! spectral element can be applied two ways (paper, Section VII):
+//!
+//! * **matrix-based** — three explicit `(p+1)³ × (p+1)³` dense matrices
+//!   (or one stacked `3(p+1)³ × (p+1)³` matrix), costing `6(p+1)⁶` flops
+//!   per element but executing as one large cache-friendly matrix–matrix
+//!   multiply when elements are batched;
+//! * **tensor-product** — contracting the 1D differentiation matrix
+//!   along each coordinate direction, costing `6(p+1)⁴` flops —
+//!   asymptotically work-optimal but built from many small matrices.
+//!
+//! The paper measures the crossover on Ranger's Barcelona cores between
+//! `p = 2` and `p = 4` with GotoBLAS; our dense kernel is a cache-blocked
+//! Rust matmul (DESIGN.md substitution #5), so the crossover may shift,
+//! but its existence and direction are architecture-independent
+//! consequences of the flop counts.
+
+use crate::lgl::Lgl;
+
+/// Exact flop count of the matrix-based derivative per element
+/// (3 directions × (p+1)³ rows × (p+1)³ multiply-adds × 2).
+pub fn matrix_derivative_flops(p: usize) -> u64 {
+    let n = (p + 1) as u64;
+    6 * n.pow(6)
+}
+
+/// Exact flop count of the tensor-product derivative per element.
+pub fn tensor_derivative_flops(p: usize) -> u64 {
+    let n = (p + 1) as u64;
+    6 * n.pow(4)
+}
+
+/// Which kernel implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerivativeKernel {
+    MatrixBased,
+    TensorProduct,
+}
+
+/// Precomputed operators for applying the reference gradient on elements
+/// of order `p`.
+pub struct ElementDerivative {
+    pub lgl: Lgl,
+    /// Stacked dense derivative matrix `[Dξ; Dη; Dζ]`, row-major
+    /// `3n³ × n³` (matrix-based path).
+    big: Vec<f64>,
+    n1: usize,
+}
+
+impl ElementDerivative {
+    pub fn new(p: usize) -> Self {
+        let lgl = Lgl::new(p);
+        let n1 = lgl.n();
+        let n3 = n1 * n1 * n1;
+        let mut big = vec![0.0; 3 * n3 * n3];
+        let d = &lgl.diff;
+        // Node (i,j,k) ↔ flat index i + n*(j + n*k); ξ varies with i.
+        let flat = |i: usize, j: usize, k: usize| i + n1 * (j + n1 * k);
+        for k in 0..n1 {
+            for j in 0..n1 {
+                for i in 0..n1 {
+                    let row = flat(i, j, k);
+                    for m in 0..n1 {
+                        // ∂/∂ξ couples i↔m.
+                        big[row * n3 + flat(m, j, k)] += d[i * n1 + m];
+                        // ∂/∂η couples j↔m.
+                        big[(n3 + row) * n3 + flat(i, m, k)] += d[j * n1 + m];
+                        // ∂/∂ζ couples k↔m.
+                        big[(2 * n3 + row) * n3 + flat(i, j, m)] += d[k * n1 + m];
+                    }
+                }
+            }
+        }
+        ElementDerivative { lgl, big, n1 }
+    }
+
+    /// Nodes per element.
+    pub fn n3(&self) -> usize {
+        self.n1 * self.n1 * self.n1
+    }
+
+    /// Matrix-based path: one `3n³ × n³` by `n³ × nelem` multiply over a
+    /// batch of elements. `u` is `n³ × nelem` (element-major columns,
+    /// i.e. `u[e*n3 + node]`), `out` is `3n³ × nelem` laid out
+    /// `out[e*3n3 + dir*n3 + node]`.
+    pub fn apply_matrix_batch(&self, u: &[f64], out: &mut [f64], nelem: usize) {
+        let n3 = self.n3();
+        debug_assert_eq!(u.len(), n3 * nelem);
+        debug_assert_eq!(out.len(), 3 * n3 * nelem);
+        // Cache-blocked GEMM: out(e) = big · u(e); block over rows and the
+        // inner dimension.
+        const BK: usize = 64;
+        for e in 0..nelem {
+            let ue = &u[e * n3..(e + 1) * n3];
+            let oe = &mut out[e * 3 * n3..(e + 1) * 3 * n3];
+            oe.fill(0.0);
+            for k0 in (0..n3).step_by(BK) {
+                let k1 = (k0 + BK).min(n3);
+                for (r, orow) in oe.iter_mut().enumerate() {
+                    let brow = &self.big[r * n3..(r + 1) * n3];
+                    let mut acc = 0.0;
+                    for k in k0..k1 {
+                        acc += brow[k] * ue[k];
+                    }
+                    *orow += acc;
+                }
+            }
+        }
+    }
+
+    /// Tensor-product path: three 1D contractions per element. Layouts as
+    /// in [`Self::apply_matrix_batch`].
+    pub fn apply_tensor_batch(&self, u: &[f64], out: &mut [f64], nelem: usize) {
+        let n = self.n1;
+        let n3 = self.n3();
+        let d = &self.lgl.diff;
+        for e in 0..nelem {
+            let ue = &u[e * n3..(e + 1) * n3];
+            let oe = &mut out[e * 3 * n3..(e + 1) * 3 * n3];
+            // ∂/∂ξ: for each (j,k) line, D × line.
+            for k in 0..n {
+                for j in 0..n {
+                    let base = n * (j + n * k);
+                    for i in 0..n {
+                        let mut acc = 0.0;
+                        for m in 0..n {
+                            acc += d[i * n + m] * ue[base + m];
+                        }
+                        oe[base + i] = acc;
+                    }
+                }
+            }
+            // ∂/∂η.
+            for k in 0..n {
+                for i in 0..n {
+                    for jj in 0..n {
+                        let mut acc = 0.0;
+                        for m in 0..n {
+                            acc += d[jj * n + m] * ue[i + n * (m + n * k)];
+                        }
+                        oe[n3 + i + n * (jj + n * k)] = acc;
+                    }
+                }
+            }
+            // ∂/∂ζ.
+            for j in 0..n {
+                for i in 0..n {
+                    for kk in 0..n {
+                        let mut acc = 0.0;
+                        for m in 0..n {
+                            acc += d[kk * n + m] * ue[i + n * (j + n * m)];
+                        }
+                        oe[2 * n3 + i + n * (j + n * kk)] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply with the chosen kernel.
+    pub fn apply_batch(
+        &self,
+        kernel: DerivativeKernel,
+        u: &[f64],
+        out: &mut [f64],
+        nelem: usize,
+    ) {
+        match kernel {
+            DerivativeKernel::MatrixBased => self.apply_matrix_batch(u, out, nelem),
+            DerivativeKernel::TensorProduct => self.apply_tensor_batch(u, out, nelem),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_counts_match_paper_formulas() {
+        assert_eq!(matrix_derivative_flops(2), 6 * 3u64.pow(6));
+        assert_eq!(tensor_derivative_flops(2), 6 * 3u64.pow(4));
+        // The paper's p = 6 example: 20× fewer flops for the tensor path.
+        let ratio = matrix_derivative_flops(6) / tensor_derivative_flops(6);
+        assert_eq!(ratio, 49, "(p+1)² = 49 for p = 6");
+    }
+
+    #[test]
+    fn both_kernels_agree() {
+        for p in [1usize, 2, 3, 4] {
+            let ed = ElementDerivative::new(p);
+            let n3 = ed.n3();
+            let nelem = 3;
+            let u: Vec<f64> = (0..n3 * nelem)
+                .map(|i| ((i * 2654435761 + 17) % 1000) as f64 / 499.0 - 1.0)
+                .collect();
+            let mut a = vec![0.0; 3 * n3 * nelem];
+            let mut b = vec![0.0; 3 * n3 * nelem];
+            ed.apply_matrix_batch(&u, &mut a, nelem);
+            ed.apply_tensor_batch(&u, &mut b, nelem);
+            for i in 0..a.len() {
+                assert!((a[i] - b[i]).abs() < 1e-10, "p={p} idx={i}: {} vs {}", a[i], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_exact_on_trilinear_monomials() {
+        let p = 3;
+        let ed = ElementDerivative::new(p);
+        let n = p + 1;
+        let n3 = ed.n3();
+        // u = ξ²η − ζ on the LGL grid.
+        let mut u = vec![0.0; n3];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y, z) = (ed.lgl.nodes[i], ed.lgl.nodes[j], ed.lgl.nodes[k]);
+                    u[i + n * (j + n * k)] = x * x * y - z;
+                }
+            }
+        }
+        let mut g = vec![0.0; 3 * n3];
+        ed.apply_tensor_batch(&u, &mut g, 1);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let (x, y, _z) = (ed.lgl.nodes[i], ed.lgl.nodes[j], ed.lgl.nodes[k]);
+                    let idx = i + n * (j + n * k);
+                    assert!((g[idx] - 2.0 * x * y).abs() < 1e-11, "dξ");
+                    assert!((g[n3 + idx] - x * x).abs() < 1e-11, "dη");
+                    assert!((g[2 * n3 + idx] + 1.0).abs() < 1e-11, "dζ");
+                }
+            }
+        }
+    }
+}

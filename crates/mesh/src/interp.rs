@@ -1,0 +1,170 @@
+//! `InterpolateFields`: transfer nodal fields between meshes related by
+//! one adaptation step.
+//!
+//! As in the paper, the transfer is purely local given ghost values: the
+//! new mesh is produced from the old one by at most one level of
+//! coarsening and refinement *before* repartitioning, so every new node
+//! lies inside (or on the boundary of) an old local element; its value is
+//! the trilinear interpolant of that element's resolved corner values.
+//! Refinement injects exactly; coarsening restricts by sampling the
+//! parent's corner positions (which are corners of the old children).
+
+use crate::extract::{node_coords, Mesh};
+use octree::ops::find_containing;
+use octree::{Octant, MAX_LEVEL, ROOT_LEN};
+
+/// Evaluate the old field at lattice point `p` using the old mesh.
+/// Returns `None` if no old local element covers `p`.
+fn eval_at(old: &Mesh, old_vals: &[f64], p: (u32, u32, u32)) -> Option<f64> {
+    // Probe the up-to-8 incident unit cells until one lies in an old
+    // local element.
+    for dz in 0..2u32 {
+        for dy in 0..2u32 {
+            for dx in 0..2u32 {
+                let (x, y, z) = (
+                    p.0 as i64 - dx as i64,
+                    p.1 as i64 - dy as i64,
+                    p.2 as i64 - dz as i64,
+                );
+                let lim = ROOT_LEN as i64;
+                if x < 0 || y < 0 || z < 0 || x >= lim || y >= lim || z >= lim {
+                    continue;
+                }
+                let probe = Octant::new(x as u32, y as u32, z as u32, MAX_LEVEL);
+                if let Some(e) = find_containing(&old.elements, &probe) {
+                    let o = &old.elements[e];
+                    let l = o.len() as f64;
+                    let r = [
+                        (p.0 - o.x) as f64 / l,
+                        (p.1 - o.y) as f64 / l,
+                        (p.2 - o.z) as f64 / l,
+                    ];
+                    let c = old.corner_values(e, old_vals);
+                    let mut v = 0.0;
+                    for (ci, &cv) in c.iter().enumerate() {
+                        let wx = if ci & 1 == 1 { r[0] } else { 1.0 - r[0] };
+                        let wy = if (ci >> 1) & 1 == 1 { r[1] } else { 1.0 - r[1] };
+                        let wz = if (ci >> 2) & 1 == 1 { r[2] } else { 1.0 - r[2] };
+                        v += wx * wy * wz * cv;
+                    }
+                    return Some(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Interpolate a nodal field from `old` (with ghost values current in
+/// `old_vals`) onto the owned dofs of `new`. The ghost block of the
+/// returned vector is zero; call `new.exchange.exchange(...)` afterwards.
+///
+/// Requires that `new` was extracted from the same octree partition as
+/// `old` after at most one adaptation step and **before** repartitioning.
+pub fn interpolate_node_field(old: &Mesh, old_vals: &[f64], new: &Mesh) -> Vec<f64> {
+    assert_eq!(old_vals.len(), old.n_local());
+    let mut out = vec![0.0; new.n_local()];
+    for d in 0..new.n_owned {
+        let p = node_coords(new.dof_keys[d]);
+        out[d] = eval_at(old, old_vals, p).unwrap_or_else(|| {
+            panic!(
+                "new node {:?} not covered by any old local element — \
+                 was the mesh repartitioned before the field transfer?",
+                p
+            )
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_mesh;
+    use octree::balance::BalanceKind;
+    use octree::parallel::DistOctree;
+    use scomm::spmd;
+
+    /// Linear fields must transfer exactly under refinement and
+    /// coarsening (trilinear interpolation is exact on linears).
+    #[test]
+    fn linear_field_transfers_exactly() {
+        spmd::run(2, |c| {
+            let f = |p: [f64; 3]| 2.0 * p[0] - p[1] + 3.0 * p[2] + 0.25;
+            let mut t = DistOctree::new_uniform(c, 2);
+            let old_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let mut v = vec![0.0; old_mesh.n_local()];
+            for d in 0..old_mesh.n_owned {
+                v[d] = f(old_mesh.dof_coords(d));
+            }
+            old_mesh.exchange.exchange(c, &mut v, old_mesh.n_owned);
+
+            // One adaptation step: refine one region, coarsen another.
+            t.refine(|o| o.center_unit()[0] < 0.3);
+            t.coarsen(|o| o.center_unit()[0] > 0.7);
+            t.balance(BalanceKind::Full);
+            let new_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let mut w = interpolate_node_field(&old_mesh, &v, &new_mesh);
+            new_mesh.exchange.exchange(c, &mut w, new_mesh.n_owned);
+            for d in 0..new_mesh.n_owned {
+                let expect = f(new_mesh.dof_coords(d));
+                assert!(
+                    (w[d] - expect).abs() < 1e-11,
+                    "dof {d}: {} vs {expect}",
+                    w[d]
+                );
+            }
+        });
+    }
+
+    /// Refinement must inject nodal values exactly (new nodes coincide
+    /// with old nodes or are interpolated, but old nodes keep values).
+    #[test]
+    fn refinement_injects_old_nodes() {
+        spmd::run(1, |c| {
+            let mut t = DistOctree::new_uniform(c, 1);
+            let old_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            // An arbitrary nodal field.
+            let mut v = vec![0.0; old_mesh.n_local()];
+            for d in 0..old_mesh.n_owned {
+                let p = old_mesh.dof_coords(d);
+                v[d] = (p[0] * 7.0).sin() + p[1] * p[2];
+            }
+            let old_coords: Vec<[f64; 3]> =
+                (0..old_mesh.n_owned).map(|d| old_mesh.dof_coords(d)).collect();
+            t.refine(|_| true);
+            let new_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let w = interpolate_node_field(&old_mesh, &v, &new_mesh);
+            for d in 0..new_mesh.n_owned {
+                let p = new_mesh.dof_coords(d);
+                if let Some(j) = old_coords
+                    .iter()
+                    .position(|q| (q[0] - p[0]).abs() + (q[1] - p[1]).abs() + (q[2] - p[2]).abs() < 1e-14)
+                {
+                    assert!((w[d] - v[j]).abs() < 1e-13, "old node value changed");
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn transfer_after_partition_is_rejected() {
+        // Interpolating across a repartition must fail loudly: rank 1's
+        // new elements aren't covered by its old ones.
+        let conn_failed = spmd::run(2, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            let old_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let v = vec![0.0; old_mesh.n_local()];
+            if c.rank() == 0 {
+                t.refine(|_| true);
+            } else {
+                t.refine(|_| false);
+            }
+            t.partition(); // moves elements between ranks
+            let new_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let _ = interpolate_node_field(&old_mesh, &v, &new_mesh);
+        });
+        let _ = conn_failed;
+    }
+}

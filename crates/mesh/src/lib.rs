@@ -1,0 +1,27 @@
+//! # mesh — `ExtractMesh`, hanging-node constraints, ghosts, field transfer
+//!
+//! This crate builds the distributed trilinear finite element mesh from a
+//! balanced distributed octree (the paper's `ExtractMesh`), including:
+//!
+//! * unique global numbering of the independent degrees of freedom
+//!   (hanging nodes carry no unknowns, exactly as in Section IV-B);
+//! * algebraic hanging-node constraints resolved at the element level,
+//!   with recursive (chained) constraints handled through a bounded
+//!   number of collective resolution rounds;
+//! * the ghost-dof exchange pattern (one layer of remote elements);
+//! * `InterpolateFields` — transfer of nodal fields onto a mesh obtained
+//!   by at most one level of coarsening/refinement, communication-free
+//!   given ghost values, as in the paper.
+//!
+//! The mesh is Cartesian: a single octree mapped to a box `[0,Lx] ×
+//! [0,Ly] × [0,Lz]` (the paper's mantle simulations use 8×4×1). Forest
+//! meshes are consumed by the discontinuous-Galerkin `mangll` crate,
+//! which needs no continuous numbering.
+
+pub mod extract;
+pub mod interp;
+pub mod vtk;
+
+pub use extract::{CornerRef, ExchangePattern, Mesh, NodeResolution};
+pub use interp::interpolate_node_field;
+pub use vtk::write_vtk;

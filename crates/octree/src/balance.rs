@@ -1,0 +1,217 @@
+//! 2:1 balance (`BalanceTree`): enforce that neighboring leaves differ by
+//! at most one refinement level.
+//!
+//! The paper balances across faces and edges ("edge lengths of face- and
+//! edge-neighboring elements may differ by at most a factor of two"); we
+//! support face, edge, and full corner balance via [`BalanceKind`] and use
+//! the full 26-neighbor balance by default, which implies the weaker two
+//! and keeps hanging-node constraints local to faces and edges.
+//!
+//! Balance only ever *refines* (adds leaves); this is the "ripple" part of
+//! the paper's prioritized ripple propagation: refining a leaf can trigger
+//! refinement of its coarser neighbors in the next sweep, and the number of
+//! sweeps is bounded by the number of levels in the tree.
+
+use crate::morton::Octant;
+use crate::ops::find_containing;
+
+/// Which neighbor set participates in the 2:1 condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceKind {
+    /// 6 face neighbors.
+    Face,
+    /// 6 face + 12 edge neighbors (the paper's condition).
+    FaceEdge,
+    /// Full 26-neighborhood (faces, edges, corners).
+    Full,
+}
+
+impl BalanceKind {
+    /// The displacement triples of this neighbor set.
+    pub fn directions(self) -> Vec<(i32, i32, i32)> {
+        Octant::neighbor_directions()
+            .filter(move |&(dx, dy, dz)| {
+                let order = dx.abs() + dy.abs() + dz.abs();
+                match self {
+                    BalanceKind::Face => order == 1,
+                    BalanceKind::FaceEdge => order <= 2,
+                    BalanceKind::Full => true,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One balance sweep: mark every leaf that violates the 2:1 condition
+/// against some finer leaf, i.e. every leaf `c` such that a leaf `o` with
+/// `o.level > c.level + 1` has `c` covering one of `o`'s same-size
+/// neighbor positions. Returns the indices of leaves that must be refined.
+fn violating_leaves(leaves: &[Octant], dirs: &[(i32, i32, i32)]) -> Vec<usize> {
+    let mut mark = vec![false; leaves.len()];
+    for o in leaves {
+        for &(dx, dy, dz) in dirs {
+            let Some(n) = o.neighbor(dx, dy, dz) else { continue };
+            if let Some(idx) = find_containing(leaves, &n) {
+                if leaves[idx].level + 1 < o.level {
+                    mark[idx] = true;
+                }
+            }
+        }
+    }
+    mark.iter()
+        .enumerate()
+        .filter_map(|(i, &m)| if m { Some(i) } else { None })
+        .collect()
+}
+
+/// Balance a complete local octree in place with the given neighbor set.
+/// Returns the number of leaves added.
+pub fn balance_local_kind(leaves: &mut Vec<Octant>, kind: BalanceKind) -> usize {
+    let dirs = kind.directions();
+    let before = leaves.len();
+    loop {
+        let viol = violating_leaves(leaves, &dirs);
+        if viol.is_empty() {
+            break;
+        }
+        // Refine the violators; splice children in place to keep order.
+        let mut out = Vec::with_capacity(leaves.len() + 7 * viol.len());
+        let mut v = 0;
+        for (i, &o) in leaves.iter().enumerate() {
+            if v < viol.len() && viol[v] == i {
+                out.extend_from_slice(&o.children());
+                v += 1;
+            } else {
+                out.push(o);
+            }
+        }
+        *leaves = out;
+    }
+    leaves.len() - before
+}
+
+/// Balance with the default full 26-neighbor condition.
+pub fn balance_local(leaves: &mut Vec<Octant>) -> usize {
+    balance_local_kind(leaves, BalanceKind::Full)
+}
+
+/// Check the 2:1 condition for the given neighbor set.
+pub fn is_balanced_kind(leaves: &[Octant], kind: BalanceKind) -> bool {
+    let dirs = kind.directions();
+    for o in leaves {
+        for &(dx, dy, dz) in &dirs {
+            let Some(n) = o.neighbor(dx, dy, dz) else { continue };
+            if let Some(idx) = find_containing(leaves, &n) {
+                if leaves[idx].level + 1 < o.level {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Check the full 26-neighbor 2:1 condition.
+pub fn is_balanced(leaves: &[Octant]) -> bool {
+    is_balanced_kind(leaves, BalanceKind::Full)
+}
+
+/// Naive reference balance used by the `ablation_balance` bench: refine
+/// one violator at a time and restart the scan. Same result, much more
+/// work — it motivates the paper's buffered, level-by-level approach.
+pub fn balance_local_naive(leaves: &mut Vec<Octant>) -> usize {
+    let dirs = BalanceKind::Full.directions();
+    let before = leaves.len();
+    'outer: loop {
+        let viol = violating_leaves(leaves, &dirs);
+        match viol.first() {
+            None => break 'outer,
+            Some(&i) => {
+                let o = leaves[i];
+                leaves.splice(i..=i, o.children());
+            }
+        }
+    }
+    leaves.len() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{new_tree, refine};
+    use crate::{is_complete, is_valid_linear};
+
+    /// Refine toward the domain center several levels deep. Unlike a
+    /// domain-corner spike (which grades itself), the leaves hugging the
+    /// center planes end up adjacent to level-1 leaves across those
+    /// planes, violating 2:1 for depth ≥ 3.
+    fn center_spike(depth: u8) -> Vec<Octant> {
+        use crate::morton::{MAX_LEVEL, ROOT_LEN};
+        let target = Octant::new(ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, MAX_LEVEL);
+        let mut t = new_tree(1);
+        for _ in 1..depth {
+            refine(&mut t, |o| o.contains(&target));
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_tree_is_balanced() {
+        assert!(is_balanced(&new_tree(3)));
+        let mut t = new_tree(3);
+        assert_eq!(balance_local(&mut t), 0);
+    }
+
+    #[test]
+    fn spike_is_unbalanced_then_balanced() {
+        let mut t = center_spike(5);
+        assert!(!is_balanced(&t));
+        let added = balance_local(&mut t);
+        assert!(added > 0);
+        assert!(is_balanced(&t));
+        assert!(is_complete(&t));
+        assert!(is_valid_linear(&t));
+    }
+
+    #[test]
+    fn balance_only_refines() {
+        let orig = center_spike(6);
+        let mut t = orig.clone();
+        balance_local(&mut t);
+        // Every new leaf must be contained in exactly one original leaf.
+        for leaf in &t {
+            let n = orig.iter().filter(|o| o.contains(leaf)).count();
+            assert_eq!(n, 1, "leaf {leaf:?} not covered exactly once");
+        }
+        assert!(t.len() >= orig.len());
+    }
+
+    #[test]
+    fn face_balance_weaker_than_full() {
+        let mut a = center_spike(6);
+        let mut b = a.clone();
+        balance_local_kind(&mut a, BalanceKind::Face);
+        balance_local_kind(&mut b, BalanceKind::Full);
+        assert!(is_balanced_kind(&a, BalanceKind::Face));
+        assert!(is_balanced_kind(&b, BalanceKind::Full));
+        // Full balance implies face balance.
+        assert!(is_balanced_kind(&b, BalanceKind::Face));
+        assert!(b.len() >= a.len());
+    }
+
+    #[test]
+    fn naive_matches_buffered() {
+        let mut a = center_spike(5);
+        let mut b = a.clone();
+        balance_local(&mut a);
+        balance_local_naive(&mut b);
+        assert_eq!(a, b, "both balance algorithms must produce the minimal balanced refinement");
+    }
+
+    #[test]
+    fn direction_counts() {
+        assert_eq!(BalanceKind::Face.directions().len(), 6);
+        assert_eq!(BalanceKind::FaceEdge.directions().len(), 18);
+        assert_eq!(BalanceKind::Full.directions().len(), 26);
+    }
+}

@@ -1,0 +1,371 @@
+//! Octants and the Morton (z-order) space-filling curve.
+//!
+//! An octant lives on an integer lattice of side `2^MAX_LEVEL`. Its anchor
+//! is the corner with the smallest coordinates; its edge length is
+//! `2^(MAX_LEVEL - level)` lattice units. The pre-order traversal of the
+//! octree equals the lexicographic order of `(morton_key(anchor), level)`,
+//! the red curve of the paper's Fig. 3.
+
+/// Maximum refinement depth. `3 * MAX_LEVEL = 57` interleaved bits fit a
+/// `u64` Morton key with room to spare. The paper's deepest run uses 14
+/// levels (Section VI).
+pub const MAX_LEVEL: u8 = 19;
+
+/// Side length of the root cube in lattice units.
+pub const ROOT_LEN: u32 = 1 << MAX_LEVEL;
+
+/// A leaf or interior octant of a single octree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
+pub struct Octant {
+    /// Anchor coordinates in lattice units; each in `[0, ROOT_LEN)` and a
+    /// multiple of `len()`.
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+    /// Refinement level: 0 = root, `MAX_LEVEL` = finest.
+    pub level: u8,
+}
+
+// Octants are exchanged between simulated ranks as raw bytes.
+// SAFETY: repr(C), all fields are Pod primitives; padding bytes (3 after
+// `level`) are tolerated on read.
+unsafe impl scomm::Pod for Octant {}
+
+/// Spread the low 21 bits of `v` so that each bit lands every third
+/// position (classic 3D Morton bit-interleaving helper).
+#[inline]
+fn spread3(v: u32) -> u64 {
+    let mut x = v as u64 & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread3`]: compact every third bit into the low bits.
+#[inline]
+fn compact3(v: u64) -> u32 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Interleave `(x, y, z)` into a Morton key. `x` occupies the least
+/// significant position of each bit triple, matching the paper's `(z,y,x)`
+/// triple traversal.
+#[inline]
+pub fn morton_key(x: u32, y: u32, z: u32) -> u64 {
+    spread3(x) | (spread3(y) << 1) | (spread3(z) << 2)
+}
+
+/// Invert [`morton_key`].
+#[inline]
+pub fn morton_decode(key: u64) -> (u32, u32, u32) {
+    (compact3(key), compact3(key >> 1), compact3(key >> 2))
+}
+
+impl Octant {
+    /// The root octant covering the whole domain.
+    #[inline]
+    pub const fn root() -> Octant {
+        Octant { x: 0, y: 0, z: 0, level: 0 }
+    }
+
+    /// Construct an octant, checking lattice alignment in debug builds.
+    #[inline]
+    pub fn new(x: u32, y: u32, z: u32, level: u8) -> Octant {
+        debug_assert!(level <= MAX_LEVEL);
+        let len = 1u32 << (MAX_LEVEL - level);
+        debug_assert!(x % len == 0 && y % len == 0 && z % len == 0);
+        debug_assert!(x < ROOT_LEN && y < ROOT_LEN && z < ROOT_LEN);
+        Octant { x, y, z, level }
+    }
+
+    /// Edge length in lattice units.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        1 << (MAX_LEVEL - self.level)
+    }
+
+    /// Morton key of the anchor.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        morton_key(self.x, self.y, self.z)
+    }
+
+    /// Which child of its parent this octant is (0–7, Morton order).
+    #[inline]
+    pub fn child_id(&self) -> u8 {
+        debug_assert!(self.level > 0);
+        let len = self.len();
+        (((self.x / len) & 1) | (((self.y / len) & 1) << 1) | (((self.z / len) & 1) << 2)) as u8
+    }
+
+    /// Parent octant. Panics at the root in debug builds.
+    #[inline]
+    pub fn parent(&self) -> Octant {
+        debug_assert!(self.level > 0, "root has no parent");
+        let plen = 1u32 << (MAX_LEVEL - self.level + 1);
+        Octant {
+            x: self.x & !(plen - 1),
+            y: self.y & !(plen - 1),
+            z: self.z & !(plen - 1),
+            level: self.level - 1,
+        }
+    }
+
+    /// The `i`-th child (0–7 in Morton order: x fastest, then y, then z).
+    #[inline]
+    pub fn child(&self, i: u8) -> Octant {
+        debug_assert!(self.level < MAX_LEVEL, "cannot refine beyond MAX_LEVEL");
+        debug_assert!(i < 8);
+        let clen = self.len() >> 1;
+        Octant {
+            x: self.x + ((i as u32) & 1) * clen,
+            y: self.y + (((i as u32) >> 1) & 1) * clen,
+            z: self.z + (((i as u32) >> 2) & 1) * clen,
+            level: self.level + 1,
+        }
+    }
+
+    /// All eight children in Morton order.
+    #[inline]
+    pub fn children(&self) -> [Octant; 8] {
+        std::array::from_fn(|i| self.child(i as u8))
+    }
+
+    /// Ancestor at `level <= self.level` (self if equal).
+    #[inline]
+    pub fn ancestor_at(&self, level: u8) -> Octant {
+        debug_assert!(level <= self.level);
+        let alen = 1u32 << (MAX_LEVEL - level);
+        Octant {
+            x: self.x & !(alen - 1),
+            y: self.y & !(alen - 1),
+            z: self.z & !(alen - 1),
+            level,
+        }
+    }
+
+    /// Strict ancestry test.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &Octant) -> bool {
+        self.level < other.level && other.ancestor_at(self.level) == *self
+    }
+
+    /// `self == other` or `self` is an ancestor of `other`.
+    #[inline]
+    pub fn contains(&self, other: &Octant) -> bool {
+        self.level <= other.level && other.ancestor_at(self.level) == *self
+    }
+
+    /// First (Morton-smallest) descendant at `MAX_LEVEL`: shares the anchor.
+    #[inline]
+    pub fn first_descendant(&self) -> Octant {
+        Octant { x: self.x, y: self.y, z: self.z, level: MAX_LEVEL }
+    }
+
+    /// Last (Morton-largest) descendant at `MAX_LEVEL`.
+    #[inline]
+    pub fn last_descendant(&self) -> Octant {
+        let off = self.len() - 1;
+        Octant { x: self.x + off, y: self.y + off, z: self.z + off, level: MAX_LEVEL }
+    }
+
+    /// Same-size neighbor displaced by `(dx, dy, dz)` octant widths.
+    /// Returns `None` if it would leave the root cube (single-tree case;
+    /// the forest layer handles inter-tree transforms).
+    #[inline]
+    pub fn neighbor(&self, dx: i32, dy: i32, dz: i32) -> Option<Octant> {
+        let len = self.len() as i64;
+        let nx = self.x as i64 + dx as i64 * len;
+        let ny = self.y as i64 + dy as i64 * len;
+        let nz = self.z as i64 + dz as i64 * len;
+        let lim = ROOT_LEN as i64;
+        if nx < 0 || ny < 0 || nz < 0 || nx >= lim || ny >= lim || nz >= lim {
+            return None;
+        }
+        Some(Octant { x: nx as u32, y: ny as u32, z: nz as u32, level: self.level })
+    }
+
+    /// Iterate the 26 `(dx,dy,dz)` displacement triples of the full
+    /// face/edge/corner neighborhood.
+    pub fn neighbor_directions() -> impl Iterator<Item = (i32, i32, i32)> {
+        (-1..=1).flat_map(move |dz| {
+            (-1..=1).flat_map(move |dy| {
+                (-1..=1).filter_map(move |dx| {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        None
+                    } else {
+                        Some((dx, dy, dz))
+                    }
+                })
+            })
+        })
+    }
+
+    /// Geometric anchor in the unit cube `[0,1)^3`.
+    #[inline]
+    pub fn anchor_unit(&self) -> [f64; 3] {
+        let s = 1.0 / ROOT_LEN as f64;
+        [self.x as f64 * s, self.y as f64 * s, self.z as f64 * s]
+    }
+
+    /// Geometric edge length in the unit cube.
+    #[inline]
+    pub fn len_unit(&self) -> f64 {
+        self.len() as f64 / ROOT_LEN as f64
+    }
+
+    /// Geometric center in the unit cube.
+    #[inline]
+    pub fn center_unit(&self) -> [f64; 3] {
+        let a = self.anchor_unit();
+        let h = 0.5 * self.len_unit();
+        [a[0] + h, a[1] + h, a[2] + h]
+    }
+
+    /// Global Morton index among the `8^level` octants of a uniform
+    /// refinement at this octant's level.
+    #[inline]
+    pub fn uniform_index(&self) -> u64 {
+        let shift = MAX_LEVEL - self.level;
+        morton_key(self.x >> shift, self.y >> shift, self.z >> shift)
+    }
+
+    /// Inverse of [`uniform_index`]: the `idx`-th octant (Morton order) of
+    /// the uniform refinement at `level`.
+    #[inline]
+    pub fn from_uniform_index(level: u8, idx: u64) -> Octant {
+        let (x, y, z) = morton_decode(idx);
+        let shift = MAX_LEVEL - level;
+        Octant { x: x << shift, y: y << shift, z: z << shift, level }
+    }
+}
+
+impl PartialOrd for Octant {
+    #[inline]
+    fn partial_cmp(&self, other: &Octant) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Octant {
+    /// Morton order with the ancestor-first tie-break: this is exactly the
+    /// pre-order traversal of the octree restricted to any leaf set.
+    #[inline]
+    fn cmp(&self, other: &Octant) -> std::cmp::Ordering {
+        self.key()
+            .cmp(&other.key())
+            .then(self.level.cmp(&other.level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_roundtrip() {
+        for &(x, y, z) in &[(0, 0, 0), (1, 2, 3), (1023, 511, 255), (ROOT_LEN - 1, 0, ROOT_LEN - 1)] {
+            let k = morton_key(x, y, z);
+            assert_eq!(morton_decode(k), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn morton_order_of_children_is_child_id_order() {
+        let o = Octant::new(0, 0, 0, 3);
+        let kids = o.children();
+        for i in 0..7 {
+            assert!(kids[i] < kids[i + 1]);
+        }
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(k.child_id() as usize, i);
+            assert_eq!(k.parent(), o);
+        }
+    }
+
+    #[test]
+    fn ancestor_ordering_precedes_descendants() {
+        let o = Octant::new(0, 0, 0, 2);
+        for k in o.children() {
+            assert!(o < k, "ancestor must sort before descendants");
+            assert!(o.is_ancestor_of(&k));
+            assert!(o.contains(&k));
+            assert!(!k.is_ancestor_of(&o));
+        }
+        assert!(o.contains(&o));
+        assert!(!o.is_ancestor_of(&o));
+    }
+
+    #[test]
+    fn descendant_range() {
+        let o = Octant::new(ROOT_LEN / 2, 0, 0, 1);
+        let f = o.first_descendant();
+        let l = o.last_descendant();
+        assert_eq!(f.key(), o.key());
+        assert!(o.contains(&f) && o.contains(&l));
+        assert!(f <= l);
+        // A leaf just before / after the range is not contained.
+        let before = Octant::new(o.x - 1, ROOT_LEN - 1, ROOT_LEN - 1, MAX_LEVEL);
+        assert!(!o.contains(&before));
+    }
+
+    #[test]
+    fn neighbors_and_domain_boundary() {
+        let o = Octant::new(0, 0, 0, 1);
+        assert!(o.neighbor(-1, 0, 0).is_none());
+        let n = o.neighbor(1, 0, 0).unwrap();
+        assert_eq!(n.x, o.len());
+        assert_eq!(n.level, o.level);
+        let far = Octant::new(ROOT_LEN / 2, ROOT_LEN / 2, ROOT_LEN / 2, 1);
+        assert!(far.neighbor(1, 0, 0).is_none(), "past +x face");
+        assert_eq!(Octant::neighbor_directions().count(), 26);
+    }
+
+    #[test]
+    fn uniform_index_roundtrip() {
+        for level in [0u8, 1, 3, 5] {
+            let n = 1u64 << (3 * level);
+            for idx in (0..n).step_by((n as usize / 64).max(1)) {
+                let o = Octant::from_uniform_index(level, idx);
+                assert_eq!(o.uniform_index(), idx);
+                assert_eq!(o.level, level);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_index_is_morton_sorted() {
+        let level = 2u8;
+        let octs: Vec<Octant> = (0..64).map(|i| Octant::from_uniform_index(level, i)).collect();
+        for w in octs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn geometry_maps_to_unit_cube() {
+        let o = Octant::new(ROOT_LEN / 4, ROOT_LEN / 2, 0, 2);
+        assert_eq!(o.anchor_unit(), [0.25, 0.5, 0.0]);
+        assert_eq!(o.len_unit(), 0.25);
+        assert_eq!(o.center_unit(), [0.375, 0.625, 0.125]);
+    }
+
+    #[test]
+    fn ancestor_at_levels() {
+        let leaf = Octant::new(ROOT_LEN - 1, ROOT_LEN - 1, ROOT_LEN - 1, MAX_LEVEL);
+        let a0 = leaf.ancestor_at(0);
+        assert_eq!(a0, Octant::root());
+        let a1 = leaf.ancestor_at(1);
+        assert_eq!((a1.x, a1.y, a1.z), (ROOT_LEN / 2, ROOT_LEN / 2, ROOT_LEN / 2));
+    }
+}

@@ -1,0 +1,238 @@
+//! Serial (per-rank local) octree operations: `NewTree`, `RefineTree`,
+//! `CoarsenTree`, linearization, and leaf search.
+//!
+//! All functions preserve the linear-octree invariant (Morton-sorted,
+//! non-overlapping); refinement replaces a leaf by its eight children *in
+//! place* in the sorted order, which is valid because the children occupy
+//! exactly the parent's Morton range.
+
+use crate::morton::{Octant, MAX_LEVEL};
+
+/// Build a uniform octree refined to `level` (the paper's `NewTree` grows
+/// a coarse tree; here the serial version enumerates the `8^level` leaves
+/// directly in Morton order).
+pub fn new_tree(level: u8) -> Vec<Octant> {
+    assert!(level <= MAX_LEVEL);
+    let n = 1u64 << (3 * level as u64);
+    (0..n).map(|i| Octant::from_uniform_index(level, i)).collect()
+}
+
+/// Refine every leaf for which `should_refine` returns true, replacing it
+/// by its eight children. Leaves already at `MAX_LEVEL` are never refined.
+/// Returns the number of leaves refined.
+pub fn refine<F: FnMut(&Octant) -> bool>(leaves: &mut Vec<Octant>, mut should_refine: F) -> usize {
+    let mut out = Vec::with_capacity(leaves.len());
+    let mut count = 0;
+    for &o in leaves.iter() {
+        // Evaluate the predicate exactly once per leaf, in order, so that
+        // index-driven closures stay aligned even for depth-capped leaves.
+        if should_refine(&o) && o.level < MAX_LEVEL {
+            out.extend_from_slice(&o.children());
+            count += 1;
+        } else {
+            out.push(o);
+        }
+    }
+    *leaves = out;
+    count
+}
+
+/// Coarsen complete sibling families in which *all eight* leaves are marked
+/// by `should_coarsen`, replacing them by their parent. Only same-level
+/// leaf families are eligible (matching the paper's `CoarsenTree`, which
+/// removes all children of a common parent). Returns the number of
+/// families coarsened. `should_coarsen` is evaluated exactly once per leaf,
+/// in order.
+pub fn coarsen<F: FnMut(&Octant) -> bool>(
+    leaves: &mut Vec<Octant>,
+    mut should_coarsen: F,
+) -> usize {
+    let marks: Vec<bool> = leaves.iter().map(|o| should_coarsen(o)).collect();
+    coarsen_marked(leaves, &marks)
+}
+
+/// [`coarsen`] with precomputed per-leaf marks (one per leaf, in order).
+pub fn coarsen_marked(leaves: &mut Vec<Octant>, marks: &[bool]) -> usize {
+    assert_eq!(leaves.len(), marks.len());
+    let mut out = Vec::with_capacity(leaves.len());
+    let mut count = 0;
+    let mut i = 0;
+    while i < leaves.len() {
+        let o = leaves[i];
+        // A coarsenable family starts at a child 0 and occupies eight
+        // consecutive positions in Morton order.
+        if o.level > 0 && o.child_id() == 0 && i + 8 <= leaves.len() {
+            let parent = o.parent();
+            let family_ok = (0..8)
+                .all(|k| leaves[i + k] == parent.child(k as u8) && marks[i + k]);
+            if family_ok {
+                out.push(parent);
+                count += 1;
+                i += 8;
+                continue;
+            }
+        }
+        out.push(o);
+        i += 1;
+    }
+    *leaves = out;
+    count
+}
+
+/// [`refine`] with precomputed per-leaf marks.
+pub fn refine_marked(leaves: &mut Vec<Octant>, marks: &[bool]) -> usize {
+    assert_eq!(leaves.len(), marks.len());
+    let mut i = 0;
+    refine(leaves, |_| {
+        let m = marks[i];
+        i += 1;
+        m
+    })
+}
+
+/// Remove overlaps from a sorted octant list, keeping the *finest* octants
+/// (drop any octant that is a strict ancestor of the one following it).
+/// Input must be sorted; duplicates are removed too.
+pub fn linearize(octants: &mut Vec<Octant>) {
+    octants.dedup();
+    let mut out: Vec<Octant> = Vec::with_capacity(octants.len());
+    for &o in octants.iter() {
+        while let Some(&last) = out.last() {
+            if last.is_ancestor_of(&o) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(o);
+    }
+    *octants = out;
+}
+
+/// Binary-search the sorted leaf array for the leaf that contains `target`
+/// (i.e. equals it or is its ancestor). Returns its index, or `None` if the
+/// containing region is not present locally.
+pub fn find_containing(leaves: &[Octant], target: &Octant) -> Option<usize> {
+    // partition_point gives the first leaf > target; the candidate is the
+    // one before it (ancestors sort before descendants).
+    let idx = leaves.partition_point(|o| o <= target);
+    if idx == 0 {
+        return None;
+    }
+    let cand = idx - 1;
+    if leaves[cand].contains(target) {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Histogram of leaf counts per level (used by the Fig. 5 right panel).
+pub fn level_histogram(leaves: &[Octant]) -> Vec<u64> {
+    let mut hist = vec![0u64; MAX_LEVEL as usize + 1];
+    for o in leaves {
+        hist[o.level as usize] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_complete, is_valid_linear};
+
+    #[test]
+    fn new_tree_sizes() {
+        assert_eq!(new_tree(0).len(), 1);
+        assert_eq!(new_tree(1).len(), 8);
+        assert_eq!(new_tree(3).len(), 512);
+        assert!(is_complete(&new_tree(3)));
+    }
+
+    #[test]
+    fn refine_all_equals_next_level() {
+        let mut t = new_tree(1);
+        let n = refine(&mut t, |_| true);
+        assert_eq!(n, 8);
+        assert_eq!(t, new_tree(2));
+    }
+
+    #[test]
+    fn refine_preserves_completeness_and_order() {
+        let mut t = new_tree(2);
+        refine(&mut t, |o| (o.x ^ o.y ^ o.z) & 1 == 0 || o.center_unit()[0] < 0.5);
+        assert!(is_valid_linear(&t));
+        assert!(is_complete(&t));
+    }
+
+    #[test]
+    fn coarsen_undoes_refine() {
+        let mut t = new_tree(2);
+        let orig = t.clone();
+        refine(&mut t, |o| o.x == 0 && o.y == 0 && o.z == 0);
+        assert_ne!(t, orig);
+        let n = coarsen(&mut t, |o| o.level == 3);
+        assert_eq!(n, 1);
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn coarsen_requires_full_family() {
+        let mut t = new_tree(1);
+        // Mark only 7 of 8 leaves: nothing may coarsen.
+        let n = coarsen(&mut t, |o| o.child_id() != 7);
+        assert_eq!(n, 0);
+        assert_eq!(t.len(), 8);
+        // Mark all: collapses to root.
+        let n = coarsen(&mut t, |_| true);
+        assert_eq!(n, 1);
+        assert_eq!(t, vec![Octant::root()]);
+    }
+
+    #[test]
+    fn coarsen_skips_mixed_level_families() {
+        let mut t = new_tree(1);
+        refine(&mut t, |o| o.child_id() == 0); // child 0 becomes 8 finer leaves
+        let before = t.len();
+        // Marking everything must not merge the mixed-level "family" at the
+        // root, but the level-2 family inside child 0 does merge.
+        let n = coarsen(&mut t, |_| true);
+        assert_eq!(n, 1);
+        assert_eq!(t.len(), before - 7);
+        assert!(is_complete(&t));
+    }
+
+    #[test]
+    fn linearize_keeps_finest() {
+        let root = Octant::root();
+        let c0 = root.child(0);
+        let mut v = vec![root, c0, c0.child(3), root.child(2)];
+        v.sort();
+        linearize(&mut v);
+        assert_eq!(v, vec![c0.child(3), root.child(2)]);
+        assert!(is_valid_linear(&v));
+    }
+
+    #[test]
+    fn find_containing_hits_and_misses() {
+        let mut t = new_tree(1);
+        refine(&mut t, |o| o.child_id() == 0);
+        let probe = Octant::root().child(0).child(5).first_descendant();
+        let idx = find_containing(&t, &probe).unwrap();
+        assert!(t[idx].contains(&probe));
+        assert_eq!(t[idx].level, 2);
+        // Remove the region and the probe must miss.
+        let t2: Vec<Octant> = t.iter().copied().filter(|o| !o.contains(&probe)).collect();
+        assert!(find_containing(&t2, &probe).is_none());
+    }
+
+    #[test]
+    fn level_histogram_counts() {
+        let mut t = new_tree(1);
+        refine(&mut t, |o| o.child_id() == 0);
+        let h = level_histogram(&t);
+        assert_eq!(h[1], 7);
+        assert_eq!(h[2], 8);
+        assert_eq!(h.iter().sum::<u64>(), t.len() as u64);
+    }
+}

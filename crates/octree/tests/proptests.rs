@@ -1,0 +1,99 @@
+//! Property-based tests for the octree invariants.
+
+use octree::balance::{balance_local, is_balanced};
+use octree::ops::{coarsen, find_containing, linearize, new_tree, refine};
+use octree::{is_complete, is_valid_linear, morton, Octant, MAX_LEVEL, ROOT_LEN};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid octant at level ≤ `max_level`.
+fn arb_octant(max_level: u8) -> impl Strategy<Value = Octant> {
+    (0..=max_level, any::<u64>()).prop_map(|(level, seed)| {
+        let n = 1u64 << (3 * level as u64);
+        Octant::from_uniform_index(level, seed % n)
+    })
+}
+
+/// Strategy: a complete linear octree built by a random refinement walk.
+fn arb_tree(rounds: usize) -> impl Strategy<Value = Vec<Octant>> {
+    proptest::collection::vec(any::<u64>(), rounds).prop_map(|seeds| {
+        let mut t = new_tree(1);
+        for seed in seeds {
+            let mut h = seed;
+            refine(&mut t, |o| {
+                // Pseudo-random but deterministic per-leaf decision,
+                // bounded depth so trees stay small.
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(o.key());
+                o.level < 5 && h % 11 == 0
+            });
+        }
+        t
+    })
+}
+
+proptest! {
+    #[test]
+    fn morton_key_roundtrips(x in 0u32..ROOT_LEN, y in 0u32..ROOT_LEN, z in 0u32..ROOT_LEN) {
+        let k = morton::morton_key(x, y, z);
+        prop_assert_eq!(morton::morton_decode(k), (x, y, z));
+    }
+
+    #[test]
+    fn parent_child_roundtrip(o in arb_octant(MAX_LEVEL - 1), i in 0u8..8) {
+        let c = o.child(i);
+        prop_assert_eq!(c.parent(), o);
+        prop_assert_eq!(c.child_id(), i);
+        prop_assert!(o.is_ancestor_of(&c));
+    }
+
+    #[test]
+    fn order_matches_descendant_ranges(a in arb_octant(8), b in arb_octant(8)) {
+        // For non-overlapping octants, Morton order == order of their
+        // descendant ranges.
+        if !a.contains(&b) && !b.contains(&a) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(lo.last_descendant() < hi.first_descendant()
+                || lo.last_descendant() == hi.first_descendant() && false);
+        }
+    }
+
+    #[test]
+    fn random_trees_stay_valid(t in arb_tree(3)) {
+        prop_assert!(is_valid_linear(&t));
+        prop_assert!(is_complete(&t));
+    }
+
+    #[test]
+    fn balance_idempotent_and_complete(mut t in arb_tree(4)) {
+        balance_local(&mut t);
+        prop_assert!(is_balanced(&t));
+        prop_assert!(is_complete(&t));
+        let n = t.len();
+        prop_assert_eq!(balance_local(&mut t), 0, "balance must be idempotent");
+        prop_assert_eq!(t.len(), n);
+    }
+
+    #[test]
+    fn coarsen_then_is_complete(mut t in arb_tree(3), seed in any::<u64>()) {
+        let mut h = seed;
+        coarsen(&mut t, |o| {
+            h = h.wrapping_mul(2862933555777941757).wrapping_add(o.key());
+            h % 3 != 0
+        });
+        prop_assert!(is_valid_linear(&t));
+        prop_assert!(is_complete(&t));
+    }
+
+    #[test]
+    fn find_containing_agrees_with_scan(t in arb_tree(3), probe in arb_octant(MAX_LEVEL)) {
+        let fast = find_containing(&t, &probe);
+        let slow = t.iter().position(|o| o.contains(&probe));
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn linearize_removes_all_overlaps(mut v in proptest::collection::vec(arb_octant(5), 1..40)) {
+        v.sort();
+        linearize(&mut v);
+        prop_assert!(is_valid_linear(&v));
+    }
+}

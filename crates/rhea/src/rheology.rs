@@ -1,0 +1,155 @@
+//! Mantle viscosity laws, including the Section VI yielding rheology.
+//!
+//! The paper's Section VI law on the 8×4×1 non-dimensional domain
+//! (z ∈ [0,1], z = 1 at the surface):
+//!
+//! ```text
+//!        ⎧ min{ 10 exp(−6.9 T),  σ_y / (2 ė) }   z > 0.9   (lithosphere)
+//!  η  =  ⎨ 0.8 exp(−6.9 T)                        0.77 < z ≤ 0.9 (aesthenosphere)
+//!        ⎩ 50 exp(−6.9 T)                         z ≤ 0.77  (lower mantle)
+//! ```
+//!
+//! where `σ_y` is the yield stress and `ė` the second invariant of the
+//! deviatoric strain rate. Shallow material yields under stress; deeper
+//! material sees only temperature dependence. The factor `exp(−6.9 T)`
+//! spans `10^3` over `T ∈ [0,1]`; with the layer prefactors the law
+//! covers the paper's four orders of magnitude in viscosity.
+
+/// A viscosity law evaluated per element.
+pub trait ViscosityLaw {
+    /// Viscosity from temperature `t`, non-dimensional depth coordinate
+    /// `z` (0 bottom, 1 surface), and strain-rate invariant `edot`.
+    fn eta(&self, t: f64, z: f64, edot: f64) -> f64;
+
+    /// Lower clamp to keep the Stokes operator definite.
+    fn eta_min(&self) -> f64 {
+        1e-4
+    }
+
+    /// Upper clamp.
+    fn eta_max(&self) -> f64 {
+        1e4
+    }
+
+    /// Clamped evaluation.
+    fn eta_clamped(&self, t: f64, z: f64, edot: f64) -> f64 {
+        self.eta(t, z, edot).clamp(self.eta_min(), self.eta_max())
+    }
+}
+
+/// The paper's three-layer temperature-dependent law with plastic
+/// yielding in the lithosphere.
+#[derive(Debug, Clone, Copy)]
+pub struct YieldingLaw {
+    /// Yield stress σ_y.
+    pub yield_stress: f64,
+    /// Arrhenius-like exponent (6.9 ⇒ 10³ variation over ΔT = 1).
+    pub exponent: f64,
+}
+
+impl Default for YieldingLaw {
+    fn default() -> Self {
+        YieldingLaw { yield_stress: 1.0, exponent: 6.9 }
+    }
+}
+
+impl ViscosityLaw for YieldingLaw {
+    fn eta(&self, t: f64, z: f64, edot: f64) -> f64 {
+        let arr = (-self.exponent * t).exp();
+        if z > 0.9 {
+            let ductile = 10.0 * arr;
+            if edot > 0.0 {
+                ductile.min(self.yield_stress / (2.0 * edot))
+            } else {
+                ductile
+            }
+        } else if z > 0.77 {
+            0.8 * arr
+        } else {
+            50.0 * arr
+        }
+    }
+}
+
+/// Purely temperature-dependent law (no yielding) — the regime of the
+/// Fig. 1 plume simulations.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrheniusLaw {
+    pub prefactor: f64,
+    pub exponent: f64,
+}
+
+impl Default for ArrheniusLaw {
+    fn default() -> Self {
+        ArrheniusLaw { prefactor: 1.0, exponent: 6.9 }
+    }
+}
+
+impl ViscosityLaw for ArrheniusLaw {
+    fn eta(&self, t: f64, _z: f64, _edot: f64) -> f64 {
+        self.prefactor * (-self.exponent * t).exp()
+    }
+}
+
+/// Constant viscosity (isoviscous benchmarks, e.g. the CitcomCU
+/// verification regime).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLaw(pub f64);
+
+impl ViscosityLaw for ConstantLaw {
+    fn eta(&self, _t: f64, _z: f64, _edot: f64) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_layer_structure() {
+        let law = YieldingLaw::default();
+        // Cold material, no strain: lithosphere 10×, aesthenosphere 0.8×,
+        // lower mantle 50×.
+        assert!((law.eta(0.0, 0.95, 0.0) - 10.0).abs() < 1e-12);
+        assert!((law.eta(0.0, 0.85, 0.0) - 0.8).abs() < 1e-12);
+        assert!((law.eta(0.0, 0.5, 0.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_softening_spans_three_decades() {
+        let law = YieldingLaw::default();
+        let cold = law.eta(0.0, 0.5, 0.0);
+        let hot = law.eta(1.0, 0.5, 0.0);
+        let ratio = cold / hot;
+        assert!((ratio - (6.9f64).exp()).abs() / ratio < 1e-12);
+        assert!(ratio > 900.0 && ratio < 1100.0, "≈10³ variation, got {ratio}");
+    }
+
+    #[test]
+    fn yielding_caps_lithosphere_viscosity() {
+        let law = YieldingLaw { yield_stress: 0.1, exponent: 6.9 };
+        // High strain rate: σ_y/(2ė) dominates.
+        let eta = law.eta(0.0, 0.95, 10.0);
+        assert!((eta - 0.1 / 20.0).abs() < 1e-12);
+        // Yielding only applies in the lithosphere.
+        let deep = law.eta(0.0, 0.5, 10.0);
+        assert!((deep - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_range_covers_four_decades() {
+        // Paper: "the viscosities range over four orders of magnitude".
+        let law = YieldingLaw { yield_stress: 0.02, exponent: 6.9 };
+        let hi = law.eta(0.0, 0.5, 0.0); // 50, cold lower mantle
+        let lo = law.eta(1.0, 0.95, 5.0); // yielded hot lithosphere
+        assert!(hi / lo >= 1e4, "range {}", hi / lo);
+    }
+
+    #[test]
+    fn clamping_bounds_apply() {
+        let law = YieldingLaw { yield_stress: 1e-9, exponent: 6.9 };
+        let eta = law.eta_clamped(0.0, 0.95, 100.0);
+        assert_eq!(eta, law.eta_min());
+    }
+}

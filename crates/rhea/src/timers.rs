@@ -1,0 +1,168 @@
+//! Named phase timers matching the paper's runtime breakdowns
+//! (Figs. 7, 8, 10).
+
+use std::time::Instant;
+
+/// The phases the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    NewTree,
+    CoarsenTree,
+    RefineTree,
+    BalanceTree,
+    PartitionTree,
+    ExtractMesh,
+    InterpolateFields,
+    TransferFields,
+    MarkElements,
+    TimeIntegration,
+    Minres,
+    AmgSetup,
+    AmgSolve,
+}
+
+impl Phase {
+    /// All phases, in the paper's Fig. 7/8 legend order.
+    pub const ALL: [Phase; 13] = [
+        Phase::NewTree,
+        Phase::CoarsenTree,
+        Phase::RefineTree,
+        Phase::BalanceTree,
+        Phase::PartitionTree,
+        Phase::ExtractMesh,
+        Phase::InterpolateFields,
+        Phase::TransferFields,
+        Phase::MarkElements,
+        Phase::TimeIntegration,
+        Phase::Minres,
+        Phase::AmgSetup,
+        Phase::AmgSolve,
+    ];
+
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::NewTree => "NewTree",
+            Phase::CoarsenTree => "CoarsenTree",
+            Phase::RefineTree => "RefineTree",
+            Phase::BalanceTree => "BalanceTree",
+            Phase::PartitionTree => "PartitionTree",
+            Phase::ExtractMesh => "ExtractMesh",
+            Phase::InterpolateFields => "InterpolateFields",
+            Phase::TransferFields => "TransferFields",
+            Phase::MarkElements => "MarkElements",
+            Phase::TimeIntegration => "TimeIntegration",
+            Phase::Minres => "MINRES",
+            Phase::AmgSetup => "AMGSetup",
+            Phase::AmgSolve => "AMGSolve",
+        }
+    }
+
+    /// Is this one of the AMR phases (vs. numerical PDE phases)?
+    pub fn is_amr(&self) -> bool {
+        !matches!(self, Phase::TimeIntegration | Phase::Minres | Phase::AmgSetup | Phase::AmgSolve)
+    }
+
+    fn index(&self) -> usize {
+        Phase::ALL.iter().position(|p| p == self).unwrap()
+    }
+}
+
+/// Accumulated wall-clock per phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimers {
+    seconds: [f64; 13],
+}
+
+impl PhaseTimers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time a closure under a phase.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.seconds[phase.index()] += t0.elapsed().as_secs_f64();
+        r
+    }
+
+    /// Add externally measured seconds.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        self.seconds[phase.index()] += seconds;
+    }
+
+    /// Accumulated seconds of one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.seconds[phase.index()]
+    }
+
+    /// Total across all phases.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Total of the AMR phases only (the paper's "AMR time").
+    pub fn amr_total(&self) -> f64 {
+        Phase::ALL
+            .iter()
+            .filter(|p| p.is_amr())
+            .map(|p| self.get(*p))
+            .sum()
+    }
+
+    /// Total of the PDE phases (the paper's "solve time").
+    pub fn solve_total(&self) -> f64 {
+        self.total() - self.amr_total()
+    }
+
+    /// Merge another timer set.
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        for i in 0..self.seconds.len() {
+            self.seconds[i] += other.seconds[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate() {
+        let mut t = PhaseTimers::new();
+        let x = t.time(Phase::BalanceTree, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(x, 42);
+        assert!(t.get(Phase::BalanceTree) >= 0.004);
+        t.add(Phase::Minres, 1.5);
+        assert_eq!(t.get(Phase::Minres), 1.5);
+        assert!(t.total() > 1.5);
+    }
+
+    #[test]
+    fn amr_vs_solve_split() {
+        let mut t = PhaseTimers::new();
+        t.add(Phase::BalanceTree, 1.0);
+        t.add(Phase::ExtractMesh, 2.0);
+        t.add(Phase::Minres, 10.0);
+        t.add(Phase::TimeIntegration, 5.0);
+        assert_eq!(t.amr_total(), 3.0);
+        assert_eq!(t.solve_total(), 15.0);
+        let mut u = PhaseTimers::new();
+        u.add(Phase::BalanceTree, 0.5);
+        t.merge(&u);
+        assert_eq!(t.get(Phase::BalanceTree), 1.5);
+    }
+
+    #[test]
+    fn labels_cover_all_phases() {
+        for p in Phase::ALL {
+            assert!(!p.label().is_empty());
+        }
+        let amr_count = Phase::ALL.iter().filter(|p| p.is_amr()).count();
+        assert_eq!(amr_count, 9);
+    }
+}

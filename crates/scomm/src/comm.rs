@@ -1,0 +1,494 @@
+//! The per-rank communicator handle and the shared "world" behind it.
+//!
+//! Semantics mirror MPI: `P` ranks execute the same program; collectives
+//! must be entered by every rank in the same order; point-to-point messages
+//! are matched by `(source, tag)` in FIFO order per `(source, tag)` pair.
+//!
+//! Internally the world is a set of crossbeam channels (point-to-point
+//! mailboxes) plus a staging area and a reusable barrier for collectives.
+//! A collective is: *write my slot → barrier → read everyone's slots →
+//! barrier*. The trailing barrier makes slot reuse by the next collective
+//! safe.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier, Mutex};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::pod::{as_bytes, from_bytes, Pod};
+use crate::stats::CommStats;
+
+/// A point-to-point message in flight.
+struct Message {
+    src: usize,
+    tag: u64,
+    bytes: Vec<u8>,
+}
+
+/// Shared state of a simulated machine with `nranks` ranks.
+pub(crate) struct World {
+    nranks: usize,
+    /// Reusable rendezvous for collectives.
+    barrier: Barrier,
+    /// One staging slot per rank for gather-style collectives.
+    slots: Vec<Mutex<Vec<u8>>>,
+    /// `nranks * nranks` staging matrix for all-to-all collectives,
+    /// indexed `src * nranks + dst`.
+    matrix: Vec<Mutex<Vec<u8>>>,
+    /// Sender endpoints into each rank's mailbox.
+    senders: Vec<Sender<Message>>,
+    /// Receiver endpoints, taken once by each rank at startup.
+    receivers: Vec<Mutex<Option<Receiver<Message>>>>,
+}
+
+impl World {
+    pub(crate) fn new(nranks: usize) -> Arc<World> {
+        assert!(nranks >= 1, "a communicator needs at least one rank");
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Mutex::new(Some(rx)));
+        }
+        Arc::new(World {
+            nranks,
+            barrier: Barrier::new(nranks),
+            slots: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
+            matrix: (0..nranks * nranks).map(|_| Mutex::new(Vec::new())).collect(),
+            senders,
+            receivers,
+        })
+    }
+
+    /// Build the communicator handle for `rank`. Each rank must be attached
+    /// exactly once.
+    pub(crate) fn attach(self: &Arc<World>, rank: usize) -> Comm {
+        let rx = self.receivers[rank]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("rank attached twice");
+        Comm {
+            world: Arc::clone(self),
+            rank,
+            inbox: rx,
+            pending: RefCell::new(VecDeque::new()),
+            stats: RefCell::new(CommStats::default()),
+        }
+    }
+}
+
+/// Per-rank communicator handle (the analogue of an `MPI_Comm` plus the
+/// calling rank). Owned by exactly one thread; not `Sync`.
+pub struct Comm {
+    world: Arc<World>,
+    rank: usize,
+    inbox: Receiver<Message>,
+    /// Messages received but not yet matched by a `recv` call.
+    pending: RefCell<VecDeque<Message>>,
+    stats: RefCell<CommStats>,
+}
+
+impl Comm {
+    /// This rank's id in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.world.nranks
+    }
+
+    /// Snapshot of the communication statistics accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Reset the statistics counters (e.g. between benchmark phases).
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+
+    // ----------------------------------------------------------------
+    // Point-to-point
+    // ----------------------------------------------------------------
+
+    /// Buffered, non-blocking send of a typed slice to `dst` with `tag`.
+    pub fn send<T: Pod>(&self, dst: usize, tag: u64, data: &[T]) {
+        let bytes = as_bytes(data).to_vec();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.p2p_messages += 1;
+            s.p2p_bytes += bytes.len() as u64;
+        }
+        self.world.senders[dst]
+            .send(Message { src: self.rank, tag, bytes })
+            .expect("receiver hung up: peer rank terminated early");
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> Vec<T> {
+        // First scan messages that arrived earlier but were not matched.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = pending.remove(pos).unwrap();
+                return from_bytes(&msg.bytes);
+            }
+        }
+        loop {
+            let msg = self
+                .inbox
+                .recv()
+                .expect("all senders hung up while waiting for a message");
+            if msg.src == src && msg.tag == tag {
+                return from_bytes(&msg.bytes);
+            }
+            self.pending.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Blocking receive of the next message with `tag` from any source.
+    /// Returns `(source, data)`.
+    pub fn recv_any<T: Pod>(&self, tag: u64) -> (usize, Vec<T>) {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|m| m.tag == tag) {
+                let msg = pending.remove(pos).unwrap();
+                return (msg.src, from_bytes(&msg.bytes));
+            }
+        }
+        loop {
+            let msg = self.inbox.recv().expect("all senders hung up");
+            if msg.tag == tag {
+                return (msg.src, from_bytes(&msg.bytes));
+            }
+            self.pending.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Combined send to `dst` and receive from `src` (both with `tag`);
+    /// deadlock-free because sends are buffered.
+    pub fn sendrecv<T: Pod>(&self, dst: usize, src: usize, tag: u64, data: &[T]) -> Vec<T> {
+        self.send(dst, tag, data);
+        self.recv(src, tag)
+    }
+
+    // ----------------------------------------------------------------
+    // Collectives
+    // ----------------------------------------------------------------
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.stats.borrow_mut().barriers += 1;
+        self.world.barrier.wait();
+    }
+
+    /// Gather `data` (same length on every rank) from all ranks, in rank
+    /// order, on all ranks.
+    pub fn allgather<T: Pod>(&self, data: &[T]) -> Vec<T> {
+        self.allgatherv(data)
+    }
+
+    /// Gather variable-length contributions from all ranks, concatenated in
+    /// rank order, on all ranks.
+    pub fn allgatherv<T: Pod>(&self, data: &[T]) -> Vec<T> {
+        let world = &self.world;
+        {
+            let mut slot = world.slots[self.rank].lock().unwrap();
+            slot.clear();
+            slot.extend_from_slice(as_bytes(data));
+        }
+        world.barrier.wait();
+        let mut out = Vec::new();
+        let mut total_bytes = 0u64;
+        for r in 0..world.nranks {
+            let slot = world.slots[r].lock().unwrap();
+            total_bytes += slot.len() as u64;
+            out.extend(from_bytes::<T>(&slot));
+        }
+        world.barrier.wait();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.allgathers += 1;
+            s.collective_bytes += total_bytes;
+        }
+        out
+    }
+
+    /// All-reduce with an arbitrary elementwise combiner. All ranks must
+    /// pass equal-length slices.
+    pub fn allreduce<T: Pod, F: Fn(T, T) -> T>(&self, data: &[T], op: F) -> Vec<T> {
+        let n = data.len();
+        let gathered = self.allgatherv(data);
+        assert_eq!(
+            gathered.len(),
+            n * self.size(),
+            "allreduce requires equal-length contributions on every rank"
+        );
+        let mut s = self.stats.borrow_mut();
+        s.allreduces += 1;
+        s.allgathers -= 1; // implemented on top of allgather; count once
+        drop(s);
+        let mut out: Vec<T> = gathered[..n].to_vec();
+        for r in 1..self.size() {
+            for i in 0..n {
+                out[i] = op(out[i], gathered[r * n + i]);
+            }
+        }
+        out
+    }
+
+    /// Elementwise global sum.
+    pub fn allreduce_sum<T: Pod + std::ops::Add<Output = T>>(&self, data: &[T]) -> Vec<T> {
+        self.allreduce(data, |a, b| a + b)
+    }
+
+    /// Elementwise global max (by `PartialOrd`).
+    pub fn allreduce_max<T: Pod + PartialOrd>(&self, data: &[T]) -> Vec<T> {
+        self.allreduce(data, |a, b| if b > a { b } else { a })
+    }
+
+    /// Elementwise global min (by `PartialOrd`).
+    pub fn allreduce_min<T: Pod + PartialOrd>(&self, data: &[T]) -> Vec<T> {
+        self.allreduce(data, |a, b| if b < a { b } else { a })
+    }
+
+    /// Exclusive prefix sum over one value per rank: rank r receives the
+    /// sum of the values of ranks `0..r` (0 on rank 0).
+    pub fn exscan_sum<T>(&self, value: T) -> T
+    where
+        T: Pod + std::ops::Add<Output = T> + Default,
+    {
+        let all = self.allgatherv(&[value]);
+        let mut s = self.stats.borrow_mut();
+        s.exscans += 1;
+        s.allgathers -= 1;
+        drop(s);
+        let mut acc = T::default();
+        for &v in &all[..self.rank] {
+            acc = acc + v;
+        }
+        acc
+    }
+
+    /// Broadcast `data` from `root` to all ranks.
+    pub fn bcast<T: Pod>(&self, root: usize, data: &[T]) -> Vec<T> {
+        let world = &self.world;
+        if self.rank == root {
+            let mut slot = world.slots[root].lock().unwrap();
+            slot.clear();
+            slot.extend_from_slice(as_bytes(data));
+        }
+        world.barrier.wait();
+        let out = {
+            let slot = world.slots[root].lock().unwrap();
+            from_bytes::<T>(&slot)
+        };
+        world.barrier.wait();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.bcasts += 1;
+            s.collective_bytes += (out.len() * std::mem::size_of::<T>()) as u64;
+        }
+        out
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` is this rank's payload for
+    /// rank `d` (length `size()`); returns `incoming` where `incoming[s]`
+    /// is the payload rank `s` sent to this rank.
+    pub fn alltoallv<T: Pod>(&self, outgoing: &[Vec<T>]) -> Vec<Vec<T>> {
+        let p = self.size();
+        assert_eq!(outgoing.len(), p, "alltoallv needs one payload per rank");
+        let world = &self.world;
+        let mut sent_bytes = 0u64;
+        for (dst, payload) in outgoing.iter().enumerate() {
+            let mut slot = world.matrix[self.rank * p + dst].lock().unwrap();
+            slot.clear();
+            slot.extend_from_slice(as_bytes(payload));
+            if dst != self.rank {
+                sent_bytes += slot.len() as u64;
+            }
+        }
+        world.barrier.wait();
+        let mut incoming = Vec::with_capacity(p);
+        for src in 0..p {
+            let slot = world.matrix[src * p + self.rank].lock().unwrap();
+            incoming.push(from_bytes::<T>(&slot));
+        }
+        world.barrier.wait();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.alltoalls += 1;
+            s.p2p_messages += outgoing
+                .iter()
+                .enumerate()
+                .filter(|(d, v)| *d != self.rank && !v.is_empty())
+                .count() as u64;
+            s.p2p_bytes += sent_bytes;
+        }
+        incoming
+    }
+
+    /// Convenience: gather one `u64` per rank (the classic "element counts"
+    /// exchange used to establish global Morton ranges; cf. the paper's
+    /// `MPI_Allgather` of one long integer per core).
+    pub fn allgather_u64(&self, value: u64) -> Vec<u64> {
+        self.allgatherv(&[value])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spmd;
+
+    #[test]
+    fn rank_and_size() {
+        let out = spmd::run(5, |c| (c.rank(), c.size()));
+        for (r, (rank, size)) in out.iter().enumerate() {
+            assert_eq!(*rank, r);
+            assert_eq!(*size, 5);
+        }
+    }
+
+    #[test]
+    fn p2p_ring() {
+        // Each rank sends its id around a ring; after P hops it returns.
+        let p = 6;
+        let out = spmd::run(p, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            let mut token = vec![c.rank() as u64];
+            for _ in 0..c.size() {
+                c.send(next, 7, &token);
+                token = c.recv(prev, 7);
+            }
+            token[0]
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v, r as u64);
+        }
+    }
+
+    #[test]
+    fn p2p_tag_matching_out_of_order() {
+        let out = spmd::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[10u64]);
+                c.send(1, 2, &[20u64]);
+                0
+            } else {
+                // Receive in reverse tag order; buffering must hold tag 1.
+                let b = c.recv::<u64>(0, 2);
+                let a = c.recv::<u64>(0, 1);
+                a[0] * 100 + b[0]
+            }
+        });
+        assert_eq!(out[1], 1020);
+    }
+
+    #[test]
+    fn allgatherv_variable_lengths() {
+        let out = spmd::run(4, |c| {
+            let mine: Vec<u64> = (0..c.rank() as u64).collect();
+            c.allgatherv(&mine)
+        });
+        let expect: Vec<u64> = vec![0, 0, 1, 0, 1, 2];
+        for o in out {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = spmd::run(4, |c| {
+            let v = [c.rank() as f64, -(c.rank() as f64)];
+            let mx = c.allreduce_max(&v);
+            let mn = c.allreduce_min(&v);
+            (mx[0], mx[1], mn[0], mn[1])
+        });
+        for o in out {
+            assert_eq!(o, (3.0, 0.0, 0.0, -3.0));
+        }
+    }
+
+    #[test]
+    fn exscan() {
+        let out = spmd::run(5, |c| c.exscan_sum((c.rank() + 1) as u64));
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = spmd::run(3, |c| {
+            let data = if c.rank() == 2 { vec![42u32, 43] } else { vec![] };
+            c.bcast(2, &data)
+        });
+        for o in out {
+            assert_eq!(o, vec![42, 43]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchange() {
+        let p = 4;
+        let out = spmd::run(p, |c| {
+            let outgoing: Vec<Vec<u64>> = (0..c.size())
+                .map(|d| vec![(c.rank() * 10 + d) as u64])
+                .collect();
+            c.alltoallv(&outgoing)
+        });
+        for (me, incoming) in out.iter().enumerate() {
+            for (src, payload) in incoming.iter().enumerate() {
+                assert_eq!(payload, &vec![(src * 10 + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_empty_payloads() {
+        let out = spmd::run(3, |c| {
+            let outgoing: Vec<Vec<f64>> = vec![Vec::new(); c.size()];
+            c.alltoallv(&outgoing)
+        });
+        for incoming in out {
+            assert!(incoming.iter().all(|v| v.is_empty()));
+        }
+    }
+
+    #[test]
+    fn stats_counting() {
+        let out = spmd::run(2, |c| {
+            c.barrier();
+            let _ = c.allgather_u64(1);
+            if c.rank() == 0 {
+                c.send(1, 0, &[1.0f64; 8]);
+            } else {
+                let _ = c.recv::<f64>(0, 0);
+            }
+            c.barrier();
+            c.stats()
+        });
+        assert_eq!(out[0].barriers, 2);
+        assert_eq!(out[0].allgathers, 1);
+        assert_eq!(out[0].p2p_messages, 1);
+        assert_eq!(out[0].p2p_bytes, 64);
+        assert_eq!(out[1].p2p_messages, 0);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = spmd::run(1, |c| {
+            let g = c.allgather_u64(9);
+            let s = c.allreduce_sum(&[4.0f64]);
+            (g, s[0])
+        });
+        assert_eq!(out[0].0, vec![9]);
+        assert_eq!(out[0].1, 4.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # scomm — simulated SPMD communication substrate
+//!
+//! The paper's algorithms (ALPS/P4EST/RHEA) are SPMD programs over MPI on
+//! TACC Ranger. Rust's MPI ecosystem is thin and no Ranger-class machine is
+//! available, so this crate provides the substitution described in
+//! `DESIGN.md`: a faithful *simulated* message-passing machine in which each
+//! rank runs as an OS thread and communicates through an MPI-like
+//! [`Comm`] handle.
+//!
+//! The substrate provides:
+//!
+//! * **Point-to-point** tagged, typed, buffered sends and blocking receives
+//!   ([`Comm::send`], [`Comm::recv`], [`Comm::sendrecv`]).
+//! * **Collectives** — [`Comm::barrier`], [`Comm::allgather`],
+//!   [`Comm::allgatherv`], [`Comm::allreduce_sum`], [`Comm::exscan_sum`],
+//!   [`Comm::bcast`], [`Comm::alltoallv`] — all with MPI semantics
+//!   (every rank of the communicator must call them in the same order).
+//! * **Statistics** ([`stats::CommStats`]) — per-rank message and byte
+//!   counts, used by the machine model to extrapolate to Ranger scale.
+//! * A **machine model** ([`machine::MachineModel`]) of a 2008-era
+//!   Ranger-like system used by the benchmark harnesses to convert measured
+//!   operation counts into modeled large-scale times.
+//!
+//! ## Example
+//!
+//! ```
+//! use scomm::spmd;
+//!
+//! // Four ranks cooperatively compute a global sum.
+//! let results = spmd::run(4, |comm| {
+//!     let mine = (comm.rank() + 1) as f64;
+//!     comm.allreduce_sum(&[mine])[0]
+//! });
+//! assert!(results.iter().all(|&s| s == 10.0));
+//! ```
+
+pub mod comm;
+pub mod machine;
+pub mod pod;
+pub mod spmd;
+pub mod stats;
+
+pub use comm::Comm;
+pub use machine::MachineModel;
+pub use pod::Pod;
+pub use stats::CommStats;

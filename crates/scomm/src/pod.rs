@@ -1,0 +1,115 @@
+//! Plain-old-data marker trait used for zero-copy message payloads.
+//!
+//! Messages travel between simulated ranks as `Vec<u8>` buffers. To send a
+//! typed slice without a serialization framework we require the element type
+//! to be [`Pod`]: `Copy`, with no padding-sensitive invariants, valid for
+//! any bit pattern that another rank could have produced from a value of the
+//! same type. All payloads originate from real values of `T` on the sending
+//! rank, so round-tripping through bytes is always reading back bytes that
+//! were a valid `T`.
+
+/// Marker for types that can be sent between ranks as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be `#[repr(C)]` (or a primitive), contain no
+/// references, pointers, or non-`Pod` fields, and must tolerate having
+/// their padding bytes (if any) read. Every byte pattern produced by
+/// `as_bytes` of a valid value must be accepted by `from_bytes`.
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<A: Pod, B: Pod> Pod for (A, B) {}
+unsafe impl<A: Pod, B: Pod, C: Pod> Pod for (A, B, C) {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// View a slice of `Pod` values as raw bytes.
+pub fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
+    // SAFETY: `T: Pod` guarantees the representation is plain bytes and
+    // reading padding is tolerated. Lifetime and length are preserved.
+    unsafe {
+        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
+    }
+}
+
+/// Copy raw bytes (produced by [`as_bytes`] on the same type) back into a
+/// typed vector.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    assert!(
+        size == 0 || bytes.len() % size == 0,
+        "byte buffer length {} not a multiple of element size {}",
+        bytes.len(),
+        size
+    );
+    if size == 0 {
+        return Vec::new();
+    }
+    let n = bytes.len() / size;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: destination capacity is n elements = bytes.len() bytes; the
+    // source bytes were produced from valid `T`s by `as_bytes`, and `T: Pod`
+    // means any such bytes form valid values. Regions cannot overlap.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = vec![1.5f64, -2.25, 1e300, 0.0];
+        let bytes = as_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<f64> = from_bytes(bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_tuple() {
+        let data = vec![(1u64, 2.5f64), (3, 4.5)];
+        let back: Vec<(u64, f64)> = from_bytes(as_bytes(&data));
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let data: Vec<u32> = vec![];
+        let back: Vec<u32> = from_bytes(as_bytes(&data));
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_length_panics() {
+        let bytes = [0u8; 7];
+        let _: Vec<u32> = from_bytes(&bytes);
+    }
+
+    #[test]
+    fn roundtrip_array() {
+        let data = vec![[1u32, 2, 3], [4, 5, 6]];
+        let back: Vec<[u32; 3]> = from_bytes(as_bytes(&data));
+        assert_eq!(back, data);
+    }
+}

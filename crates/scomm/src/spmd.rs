@@ -1,0 +1,111 @@
+//! SPMD launcher: run the same closure on `P` simulated ranks.
+//!
+//! Each rank is a real OS thread with its own [`Comm`] handle; the closure
+//! is the "main" of the simulated MPI program. Results are collected in
+//! rank order.
+
+use crate::comm::{Comm, World};
+use crate::stats::CommStats;
+
+/// A standalone single-rank communicator (the analogue of `MPI_COMM_SELF`),
+/// for running SPMD algorithms serially without a launcher.
+pub fn self_comm() -> Comm {
+    World::new(1).attach(0)
+}
+
+/// Run `f` on `nranks` ranks and return the per-rank results in rank order.
+///
+/// Panics in any rank propagate (the launcher re-panics after joining),
+/// matching the fail-fast behaviour of an MPI abort.
+pub fn run<F, R>(nranks: usize, f: F) -> Vec<R>
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    run_with_stats(nranks, f).0
+}
+
+/// Like [`run`] but additionally returns each rank's accumulated
+/// [`CommStats`], which the benchmark harnesses feed into the machine
+/// model.
+pub fn run_with_stats<F, R>(nranks: usize, f: F) -> (Vec<R>, Vec<CommStats>)
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    let world = World::new(nranks);
+    let mut results: Vec<Option<(R, CommStats)>> = (0..nranks).map(|_| None).collect();
+    if nranks == 1 {
+        // Fast path: run inline, no thread spawn.
+        let comm = world.attach(0);
+        let r = f(&comm);
+        results[0] = Some((r, comm.stats()));
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nranks);
+            for rank in 0..nranks {
+                let world = &world;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = world.attach(rank);
+                    let r = f(&comm);
+                    let stats = comm.stats();
+                    (r, stats)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => results[rank] = Some(pair),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(nranks);
+    let mut stats = Vec::with_capacity(nranks);
+    for slot in results {
+        let (r, s) = slot.expect("every rank produces a result");
+        out.push(r);
+        stats.push(s);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run(8, |c| c.rank() * c.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn stats_returned_per_rank() {
+        let (_, stats) = run_with_stats(3, |c| {
+            if c.rank() == 1 {
+                c.send(0, 0, &[1u8, 2, 3]);
+            }
+            if c.rank() == 0 {
+                let _ = c.recv::<u8>(1, 0);
+            }
+            c.barrier();
+        });
+        assert_eq!(stats[1].p2p_bytes, 3);
+        assert_eq!(stats[0].p2p_bytes, 0);
+        assert!(stats.iter().all(|s| s.barriers == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates() {
+        run(2, |c| {
+            if c.rank() == 1 {
+                panic!("deliberate");
+            }
+            // Rank 0 must not block forever on a collective with a dead
+            // peer in this test; it just returns.
+        });
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-rank communication statistics.
+//!
+//! Every [`crate::Comm`] operation increments these counters. The benchmark
+//! harnesses run the real SPMD algorithms at host scale, read the counters,
+//! and hand them to [`crate::MachineModel`] to model Ranger-scale behaviour.
+
+/// Counters for one rank's communication activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (including those routed through
+    /// `alltoallv`, excluding self-sends).
+    pub p2p_messages: u64,
+    /// Point-to-point payload bytes sent.
+    pub p2p_bytes: u64,
+    /// Barrier entries.
+    pub barriers: u64,
+    /// Allgather/allgatherv calls.
+    pub allgathers: u64,
+    /// Allreduce calls.
+    pub allreduces: u64,
+    /// Exclusive-scan calls.
+    pub exscans: u64,
+    /// Broadcast calls.
+    pub bcasts: u64,
+    /// All-to-all calls.
+    pub alltoalls: u64,
+    /// Bytes moved through gather-style collectives (read volume).
+    pub collective_bytes: u64,
+}
+
+impl CommStats {
+    /// Total number of collective operations of any kind.
+    pub fn collectives(&self) -> u64 {
+        self.barriers + self.allgathers + self.allreduces + self.exscans + self.bcasts
+            + self.alltoalls
+    }
+
+    /// Merge another rank's counters into this one (for aggregating a
+    /// whole world's activity).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.p2p_messages += other.p2p_messages;
+        self.p2p_bytes += other.p2p_bytes;
+        self.barriers += other.barriers;
+        self.allgathers += other.allgathers;
+        self.allreduces += other.allreduces;
+        self.exscans += other.exscans;
+        self.bcasts += other.bcasts;
+        self.alltoalls += other.alltoalls;
+        self.collective_bytes += other.collective_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CommStats { p2p_messages: 1, p2p_bytes: 10, barriers: 2, ..Default::default() };
+        let b = CommStats { p2p_messages: 3, allgathers: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.p2p_messages, 4);
+        assert_eq!(a.p2p_bytes, 10);
+        assert_eq!(a.barriers, 2);
+        assert_eq!(a.allgathers, 4);
+        assert_eq!(a.collectives(), 6);
+    }
+}

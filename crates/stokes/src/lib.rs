@@ -1,0 +1,32 @@
+//! # stokes — the parallel variable-viscosity Stokes solver (paper §III)
+//!
+//! Discretization: equal-order trilinear velocity–pressure with
+//! Dohrmann–Bochev polynomial pressure projection (inf-sup circumvention),
+//! producing the stabilized symmetric saddle-point system
+//!
+//! ```text
+//! [ A   Bᵀ ] [u]   [f]
+//! [ B  −C  ] [p] = [g]
+//! ```
+//!
+//! solved by preconditioned MINRES with the approximate block
+//! factorization preconditioner
+//!
+//! ```text
+//! P = diag( Ã , S̃ ),
+//! ```
+//!
+//! where `Ã` is the variable-viscosity discrete vector Laplacian
+//! approximated by **one AMG V-cycle per component** (the BoomerAMG
+//! substitution of DESIGN.md, composed block-Jacobi over ranks), and `S̃`
+//! is the inverse-viscosity-weighted lumped pressure mass matrix, which is
+//! spectrally equivalent to the Schur complement (paper reference [11]).
+//!
+//! The nonlinearity of strain-rate-dependent viscosity is handled by the
+//! Picard fixed-point iteration in [`picard`].
+
+pub mod picard;
+pub mod solver;
+
+pub use picard::{picard_solve, PicardOptions, PicardResult};
+pub use solver::{StokesOptions, StokesSolver, StokesStats};

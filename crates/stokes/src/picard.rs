@@ -1,0 +1,165 @@
+//! Picard fixed-point iteration for strain-rate-dependent viscosity
+//! (paper Section III: "The nonlinearity imposed by strain-rate-dependent
+//! viscosity is addressed with a Picard-type fixed point iteration").
+//!
+//! Each Picard step freezes the viscosity field η(T, ė) at the current
+//! iterate, solves the linearized Stokes system with MINRES, recomputes
+//! the strain-rate invariant, and re-evaluates the rheology. The AMG
+//! setup is re-run whenever the viscosity changes (as the paper reuses
+//! the preconditioner only while the mesh and coefficients stand still).
+
+use crate::solver::{StokesOptions, StokesSolver};
+use mesh::extract::Mesh;
+use scomm::Comm;
+
+/// Options for the nonlinear loop.
+#[derive(Debug, Clone, Copy)]
+pub struct PicardOptions {
+    pub max_picard: usize,
+    /// Relative viscosity-change convergence threshold.
+    pub rheology_tol: f64,
+    pub stokes: StokesOptions,
+}
+
+impl Default for PicardOptions {
+    fn default() -> Self {
+        PicardOptions { max_picard: 30, rheology_tol: 1e-3, stokes: StokesOptions::default() }
+    }
+}
+
+/// Result of a nonlinear solve.
+#[derive(Debug, Clone)]
+pub struct PicardResult {
+    /// Combined (velocity | pressure) solution in owned layout.
+    pub x: Vec<f64>,
+    /// Final per-element viscosity.
+    pub viscosity: Vec<f64>,
+    pub picard_iterations: usize,
+    pub total_minres_iterations: usize,
+    pub converged: bool,
+}
+
+/// Solve the nonlinear Stokes problem `−∇·[η(ė)(∇u+∇uᵀ)] + ∇p = f`,
+/// `∇·u = 0`, where `rheology(element, strain_rate_invariant)` evaluates
+/// the viscosity law. Collective.
+#[allow(clippy::too_many_arguments)]
+pub fn picard_solve<R, F, G>(
+    mesh: &Mesh,
+    comm: &Comm,
+    vel_bc: Vec<bool>,
+    rheology: R,
+    body_force: F,
+    bc_values: G,
+    options: PicardOptions,
+) -> PicardResult
+where
+    R: Fn(usize, f64) -> f64,
+    F: Fn([f64; 3]) -> [f64; 3],
+    G: Fn([f64; 3]) -> [f64; 3],
+{
+    // Initial viscosity at zero strain rate.
+    let mut viscosity: Vec<f64> = (0..mesh.elements.len()).map(|e| rheology(e, 0.0)).collect();
+    let mut x = vec![0.0; 4 * mesh.n_owned];
+    let mut total_minres = 0;
+    let mut converged = false;
+    let mut iters = 0;
+    for it in 0..options.max_picard {
+        iters = it + 1;
+        let mut solver =
+            StokesSolver::new(mesh, comm, viscosity.clone(), vel_bc.clone(), options.stokes);
+        let (rhs, x0) = solver.build_rhs(&body_force, &bc_values);
+        if it == 0 {
+            x = x0;
+        } else {
+            // Keep the previous iterate as warm start; refresh BC rows.
+            for (i, &m) in solver.vel_bc.iter().enumerate() {
+                if m {
+                    x[i] = x0[i];
+                }
+            }
+        }
+        let info = solver.solve(&rhs, &mut x);
+        total_minres += info.iterations;
+        // Re-evaluate the rheology.
+        let edot = solver.strain_rate_invariant(&x);
+        let mut max_rel = 0.0f64;
+        for (e, &ed) in edot.iter().enumerate() {
+            let eta_new = rheology(e, ed);
+            max_rel = max_rel.max((eta_new - viscosity[e]).abs() / viscosity[e].abs().max(1e-300));
+            viscosity[e] = eta_new;
+        }
+        let global_rel = comm.allreduce_max(&[max_rel])[0];
+        if global_rel < options.rheology_tol {
+            converged = true;
+            break;
+        }
+    }
+    PicardResult {
+        x,
+        viscosity,
+        picard_iterations: iters,
+        total_minres_iterations: total_minres,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh::extract::extract_mesh;
+    use octree::parallel::DistOctree;
+    use scomm::spmd;
+
+    #[test]
+    fn linear_rheology_converges_in_one_or_two_steps() {
+        spmd::run(1, |c| {
+            let t = DistOctree::new_uniform(c, 2);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let n = m.n_owned;
+            let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+            let res = picard_solve(
+                &m,
+                c,
+                bc,
+                |_, _| 1.0, // Newtonian
+                |p| [0.0, 0.0, (p[0] * 5.0).sin()],
+                |_| [0.0; 3],
+                PicardOptions::default(),
+            );
+            assert!(res.converged);
+            assert!(res.picard_iterations <= 2, "{}", res.picard_iterations);
+        });
+    }
+
+    #[test]
+    fn yielding_rheology_reduces_viscosity_under_stress() {
+        spmd::run(2, |c| {
+            let t = DistOctree::new_uniform(c, 2);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let n = m.n_owned;
+            let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+            let sigma_y = 0.05; // low yield stress: forcing will exceed it
+            let res = picard_solve(
+                &m,
+                c,
+                bc,
+                move |_, edot| {
+                    let eta0 = 1.0f64;
+                    if edot > 0.0 {
+                        eta0.min(sigma_y / (2.0 * edot)).max(1e-4)
+                    } else {
+                        eta0
+                    }
+                },
+                |p| [0.0, 0.0, 10.0 * (std::f64::consts::PI * p[0]).sin()],
+                |_| [0.0; 3],
+                PicardOptions { max_picard: 40, ..Default::default() },
+            );
+            assert!(res.converged, "picard did not converge");
+            let min_eta = res.viscosity.iter().cloned().fold(f64::INFINITY, f64::min);
+            let g = c.allreduce_min(&[min_eta])[0];
+            assert!(g < 1.0, "yielding must lower viscosity somewhere: min η = {g}");
+            assert!(res.picard_iterations > 1, "nonlinearity must engage");
+        });
+    }
+}

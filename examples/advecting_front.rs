@@ -1,0 +1,82 @@
+//! Advection-dominated transport with dynamic AMR — the workload class
+//! the paper uses for its scalability studies (Figs. 5–7): a sharp
+//! front swept through the domain by a rotating flow, with the mesh
+//! refined along the front and coarsened in its wake every few steps,
+//! while `MarkElements` holds the global element count near a target.
+//!
+//! Run with: `cargo run --release --example advecting_front`
+
+use mesh::extract::extract_mesh;
+use octree::parallel::DistOctree;
+use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
+use rhea::timers::{Phase, PhaseTimers};
+use rhea::transport::{TransportParams, TransportSolver};
+use scomm::spmd;
+
+fn main() {
+    const RANKS: usize = 4;
+    const STEPS: usize = 24;
+    const ADAPT_EVERY: usize = 4;
+    const TARGET: u64 = 4000;
+    println!("Advecting front with dynamic AMR ({RANKS} ranks, target {TARGET} elements)\n");
+
+    let out = spmd::run(RANKS, |comm| {
+        let mut tree = DistOctree::new_uniform(comm, 3);
+        let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
+        let mut temp: Vec<f64> = (0..mesh.n_owned)
+            .map(|d| {
+                let p = mesh.dof_coords(d);
+                let r = ((p[0] - 0.7).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
+                    .sqrt();
+                0.5 * (1.0 - ((r - 0.18) * 50.0).tanh())
+            })
+            .collect();
+        let mut timers = PhaseTimers::new();
+        let mut log = Vec::new();
+        for step in 0..STEPS {
+            let params = TransportParams { kappa: 1e-7, source: 0.0, cfl: 0.4 };
+            let mut ts = TransportSolver::new(&mesh, comm, params);
+            ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
+            let t0 = std::time::Instant::now();
+            let dt = ts.stable_dt().min(0.02);
+            ts.step(&mut temp, dt);
+            timers.add(Phase::TimeIntegration, t0.elapsed().as_secs_f64());
+            if step % ADAPT_EVERY == ADAPT_EVERY - 1 {
+                let ind = gradient_indicator(&mesh, comm, &temp);
+                let fields = [temp.clone()];
+                let aparams = AdaptParams {
+                    target_elements: TARGET,
+                    max_level: 6,
+                    min_level: 2,
+                    ..Default::default()
+                };
+                let (nm, mut nf, rep) =
+                    adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+                mesh = nm;
+                temp = nf.remove(0);
+                log.push((step, rep.refined, rep.coarsened_families, rep.elements_after));
+            }
+        }
+        let (mn, mx) = {
+            let ts = TransportSolver::new(&mesh, comm, TransportParams::default());
+            ts.min_max(&temp)
+        };
+        (log, timers, mn, mx)
+    });
+
+    let (log, timers, mn, mx) = &out[0];
+    println!("{:>6} {:>9} {:>11} {:>12}", "step", "refined", "coarsened", "elements");
+    for (step, refined, coarsened, after) in log {
+        println!("{:>6} {:>9} {:>11} {:>12}", step + 1, refined, coarsened, after);
+    }
+    println!("\nfield bounds after {STEPS} steps: [{mn:.4}, {mx:.4}] (SUPG keeps it monotone)");
+    let amr = timers.amr_total();
+    let total = timers.total();
+    println!(
+        "AMR fraction of runtime: {:.1}% — note this scaled-down run adapts every\n\
+         {ADAPT_EVERY} steps on ~4K elements; the paper adapts every 32 steps at\n\
+         131K elements/core, which amortizes AMR to ≤11% (see fig7_weak_breakdown,\n\
+         which uses the paper's cadence and reproduces that fraction).",
+        100.0 * amr / total
+    );
+}

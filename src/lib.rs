@@ -1,0 +1,2 @@
+//! Umbrella package carrying the workspace examples and integration tests.
+pub use alps;

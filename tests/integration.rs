@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: each exercises a full vertical slice
+//! of the system (octree → mesh → discretization → solver → physics).
+
+use mesh::extract::extract_mesh;
+use octree::balance::BalanceKind;
+use octree::mark::MarkParams;
+use octree::parallel::DistOctree;
+use scomm::spmd;
+
+/// The complete Fig. 4 adaptation cycle repeated several times with a
+/// moving feature, checking mesh validity and field integrity throughout.
+#[test]
+fn repeated_adaptation_cycles_stay_valid() {
+    spmd::run(3, |c| {
+        let mut tree = DistOctree::new_uniform(c, 3);
+        let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
+        // A linear field must survive arbitrarily many transfers exactly.
+        let f = |p: [f64; 3]| 2.0 * p[0] - p[1] + 0.5 * p[2];
+        let mut field: Vec<f64> = (0..mesh.n_owned).map(|d| f(mesh.dof_coords(d))).collect();
+        let mut timers = rhea::timers::PhaseTimers::new();
+        for cycle in 0..4 {
+            // Feature moves along x over the cycles.
+            let x0 = 0.2 + 0.2 * cycle as f64;
+            let ind: Vec<f64> = mesh
+                .elements
+                .iter()
+                .map(|o| {
+                    let ctr = o.center_unit();
+                    (-(ctr[0] - x0).powi(2) * 60.0).exp()
+                })
+                .collect();
+            let params = rhea::adapt::AdaptParams {
+                target_elements: 900,
+                max_level: 6,
+                min_level: 1,
+                ..Default::default()
+            };
+            let (nm, mut nf, _) =
+                rhea::adapt::adapt_mesh(&mut tree, &mesh, &[field], &ind, &params, &mut timers);
+            mesh = nm;
+            field = nf.remove(0);
+            assert!(tree.validate(), "cycle {cycle}");
+            for d in 0..mesh.n_owned {
+                let expect = f(mesh.dof_coords(d));
+                assert!(
+                    (field[d] - expect).abs() < 1e-9,
+                    "cycle {cycle}, dof {d}: {} vs {expect}",
+                    field[d]
+                );
+            }
+        }
+    });
+}
+
+/// Stokes + transport coupling on an adapted mesh: a full convection
+/// step sequence conserves temperature bounds and produces flow.
+#[test]
+fn coupled_convection_on_adapted_mesh() {
+    spmd::run(2, |c| {
+        let params = rhea::convection::ConvectionParams {
+            rayleigh: 1e5,
+            adapt_every: 2,
+            adapt: rhea::adapt::AdaptParams {
+                target_elements: 700,
+                max_level: 4,
+                min_level: 1,
+                ..Default::default()
+            },
+            stokes: stokes::StokesOptions { tol: 1e-5, max_iter: 250, ..Default::default() },
+            picard_steps: 1,
+            ..Default::default()
+        };
+        let mut sim = rhea::convection::ConvectionSim::new(c, 2, params);
+        let law = rhea::rheology::ArrheniusLaw::default();
+        let mut v_rms_last = 0.0;
+        for _ in 0..4 {
+            let rep = sim.step(&law);
+            assert!(rep.t_min > -0.1 && rep.t_max < 1.1, "{rep:?}");
+            v_rms_last = rep.v_rms;
+        }
+        assert!(v_rms_last > 0.0, "convection must drive flow");
+    });
+}
+
+/// MarkElements keeps a global target across rank counts, and the
+/// adapted tree re-partitions to an even load.
+#[test]
+fn mark_balance_partition_interplay() {
+    for ranks in [1usize, 2, 4] {
+        spmd::run(ranks, move |c| {
+            let mut tree = DistOctree::new_uniform(c, 3);
+            let ind: Vec<f64> = tree
+                .local
+                .iter()
+                .map(|o| {
+                    let ctr = o.center_unit();
+                    ((ctr[0] - 0.5).powi(2) + (ctr[1] - 0.5).powi(2)).sqrt()
+                })
+                .collect();
+            let params = MarkParams { target_elements: 1200, ..Default::default() };
+            tree.adapt_to_target(&ind, &params);
+            tree.balance(BalanceKind::Full);
+            tree.partition();
+            assert!(tree.validate());
+            let n = tree.global_count();
+            assert!(
+                (n as f64 - 1200.0).abs() / 1200.0 < 0.4,
+                "ranks={ranks}: {n} vs target 1200"
+            );
+            let share = n / ranks as u64;
+            let local = tree.local.len() as u64;
+            assert!(
+                local >= share.saturating_sub(1) && local <= share + 1,
+                "ranks={ranks}: local {local}, share {share}"
+            );
+        });
+    }
+}
+
+/// The Stokes solver on a mesh with hanging nodes converges and its
+/// iteration count stays in the same band as on a uniform mesh
+/// (the essence of the paper's Fig. 2 claim under adaptivity).
+#[test]
+fn stokes_iterations_stable_under_adaptivity() {
+    let iters: Vec<usize> = [false, true]
+        .iter()
+        .map(|&adapt| {
+            let out = spmd::run(2, move |c| {
+                let mut t = DistOctree::new_uniform(c, 2);
+                if adapt {
+                    t.refine(|o| o.center_unit()[2] > 0.6);
+                    t.balance(BalanceKind::Full);
+                    t.partition();
+                }
+                let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let n = m.n_owned;
+                let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+                let visc: Vec<f64> = m
+                    .elements
+                    .iter()
+                    .map(|o| if o.center_unit()[2] > 0.5 { 1e3 } else { 1.0 })
+                    .collect();
+                let mut s = stokes::StokesSolver::new(
+                    &m,
+                    c,
+                    visc,
+                    bc,
+                    stokes::StokesOptions { tol: 1e-7, max_iter: 400, ..Default::default() },
+                );
+                let (rhs, mut x) =
+                    s.build_rhs(|p| [0.0, 0.0, (2.0 * p[0]).sin()], |_| [0.0; 3]);
+                let info = s.solve(&rhs, &mut x);
+                assert!(info.converged);
+                info.iterations
+            });
+            out[0]
+        })
+        .collect();
+    assert!(
+        iters[1] <= 3 * iters[0] + 20,
+        "hanging nodes must not blow up the solver: uniform {} vs adapted {}",
+        iters[0],
+        iters[1]
+    );
+}
+
+/// DG on a forest coexists with the FEM stack: advect on a brick forest
+/// while the same octree logic drives a Cartesian FEM mesh.
+#[test]
+fn dg_and_fem_share_octree_infrastructure() {
+    use forest::{Connectivity, Forest};
+    use std::sync::Arc;
+    let conn = Arc::new(Connectivity::brick(2, 1, 1));
+    spmd::run(2, |c| {
+        let forest = Forest::new_uniform(c, conn.clone(), 2);
+        let mut dg = mangll::advection::DgAdvection::new(
+            &forest,
+            mangll::advection::DgParams { order: 2, cfl: 0.3, ..Default::default() },
+            |p| (-((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2)) / 0.02).exp(),
+            |_| [1.0, 0.0, 0.0],
+        );
+        let dt = dg.stable_dt();
+        for _ in 0..5 {
+            dg.step(dt);
+        }
+        let mass = dg.total_mass();
+        assert!(mass.is_finite() && mass > 0.0);
+
+        // FEM side on a plain octree: level-2 uniform = 4³ elements,
+        // (4+1)³ = 125 global nodes (domain scaling changes geometry,
+        // not connectivity).
+        let t = DistOctree::new_uniform(c, 2);
+        let m = extract_mesh(&t, [2.0, 1.0, 1.0]);
+        assert_eq!(m.n_global, 125);
+    });
+}
+
+/// Machine-model sanity across the harness path: modeled times are
+/// positive, increase with work, and collective terms grow with P.
+#[test]
+fn machine_model_behaviour() {
+    let m = scomm::MachineModel::ranger();
+    let stats = scomm::CommStats {
+        p2p_messages: 100,
+        p2p_bytes: 1 << 22,
+        allreduces: 50,
+        ..Default::default()
+    };
+    let t64 = m.t_comm(&stats, 64);
+    let t16k = m.t_comm(&stats, 16384);
+    assert!(t64 > 0.0 && t16k > t64);
+    assert!(m.t_fem_flops(2e9) > m.t_fem_flops(1e9));
+}

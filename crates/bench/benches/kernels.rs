@@ -22,7 +22,12 @@ use octree::{Octant, MAX_LEVEL, ROOT_LEN};
 use scomm::spmd;
 
 fn center_spike(depth: u8) -> Vec<Octant> {
-    let target = Octant::new(ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, MAX_LEVEL);
+    let target = Octant::new(
+        ROOT_LEN / 2 - 1,
+        ROOT_LEN / 2 - 1,
+        ROOT_LEN / 2 - 1,
+        MAX_LEVEL,
+    );
     let mut t = new_tree(1);
     for _ in 1..depth {
         refine(&mut t, |o| o.contains(&target));
@@ -35,7 +40,8 @@ fn bench_morton(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..1000u32 {
-                let k = octree::morton::morton_key(i * 7 % ROOT_LEN, i * 13 % ROOT_LEN, i % ROOT_LEN);
+                let k =
+                    octree::morton::morton_key(i * 7 % ROOT_LEN, i * 13 % ROOT_LEN, i % ROOT_LEN);
                 let (x, _, _) = octree::morton::morton_decode(k);
                 acc = acc.wrapping_add(x as u64);
             }
@@ -137,7 +143,11 @@ fn bench_precond_ablation(c: &mut Criterion) {
         let map = fem::op::DofMap::new(&m, comm, 1);
         let mref = &m;
         let src = move |e: usize, outm: &mut [f64]| {
-            let eta = if mref.elements[e].center_unit()[2] > 0.5 { 1e4 } else { 1.0 };
+            let eta = if mref.elements[e].center_unit()[2] > 0.5 {
+                1e4
+            } else {
+                1.0
+            };
             let k = fem::element::stiffness_matrix(mref.element_size(e), eta);
             for i in 0..8 {
                 for j in 0..8 {
@@ -160,9 +170,25 @@ fn bench_precond_ablation(c: &mut Criterion) {
     let b_vec = vec![1.0; n];
     // Report iteration counts once.
     let mut x = vec![0.0; n];
-    let amg_info = cg(&a, Some(&amg), &b_vec, &mut x, 1e-8, 2000, la::krylov::euclidean_dot);
+    let amg_info = cg(
+        &a,
+        Some(&amg),
+        &b_vec,
+        &mut x,
+        1e-8,
+        2000,
+        la::krylov::euclidean_dot,
+    );
     x.fill(0.0);
-    let jac_info = cg(&a, Some(&jacobi), &b_vec, &mut x, 1e-8, 2000, la::krylov::euclidean_dot);
+    let jac_info = cg(
+        &a,
+        Some(&jacobi),
+        &b_vec,
+        &mut x,
+        1e-8,
+        2000,
+        la::krylov::euclidean_dot,
+    );
     eprintln!(
         "[ablation_precond] n = {n}, viscosity contrast 1e4: \
          CG+AMG = {} iterations, CG+Jacobi = {} iterations",
@@ -173,13 +199,29 @@ fn bench_precond_ablation(c: &mut Criterion) {
     g.bench_function("cg_amg_vcycle", |b| {
         b.iter(|| {
             let mut x = vec![0.0; n];
-            cg(&a, Some(&amg), &b_vec, &mut x, 1e-8, 2000, la::krylov::euclidean_dot)
+            cg(
+                &a,
+                Some(&amg),
+                &b_vec,
+                &mut x,
+                1e-8,
+                2000,
+                la::krylov::euclidean_dot,
+            )
         })
     });
     g.bench_function("cg_jacobi", |b| {
         b.iter(|| {
             let mut x = vec![0.0; n];
-            cg(&a, Some(&jacobi), &b_vec, &mut x, 1e-8, 2000, la::krylov::euclidean_dot)
+            cg(
+                &a,
+                Some(&jacobi),
+                &b_vec,
+                &mut x,
+                1e-8,
+                2000,
+                la::krylov::euclidean_dot,
+            )
         })
     });
     g.finish();

@@ -14,17 +14,22 @@ use rhea_bench::{banner, convection_workload, paper_core_counts, Table};
 use scomm::MachineModel;
 
 fn main() {
-    banner("Figure 10", "AMR function timings vs. solve time (full convection)");
+    banner(
+        "Figure 10",
+        "AMR function timings vs. solve time (full convection)",
+    );
     let steps = 6;
     let adapt_every = 3;
     let (timers, n_elem, _) = convection_workload(1, 4, steps, adapt_every);
     let machine = MachineModel::ranger();
     let adapt_count = (steps / adapt_every) as f64;
-    println!("measured serial run: {n_elem} elements, {steps} steps, {} adaptations\n", adapt_count);
+    println!(
+        "measured serial run: {n_elem} elements, {steps} steps, {} adaptations\n",
+        adapt_count
+    );
 
-    let host_to_model = |sec: f64| {
-        machine.t_fem_flops(sec * machine.fem_efficiency * machine.peak_flops_per_core)
-    };
+    let host_to_model =
+        |sec: f64| machine.t_fem_flops(sec * machine.fem_efficiency * machine.peak_flops_per_core);
     let surface_bytes = 8.0 * 6.0 * (n_elem as f64).powf(2.0 / 3.0) * 8.0;
 
     let mut table = Table::new(&[
@@ -57,8 +62,7 @@ fn main() {
             }
         };
         // Per adaptation step (the paper's unit).
-        let per_adapt =
-            |ph: Phase| host_to_model(timers.get(ph)) / adapt_count + comm(ph);
+        let per_adapt = |ph: Phase| host_to_model(timers.get(ph)) / adapt_count + comm(ph);
         let newtree = host_to_model(timers.get(Phase::NewTree)); // once per run
         let cr = per_adapt(Phase::CoarsenTree) + per_adapt(Phase::RefineTree);
         let bal = per_adapt(Phase::BalanceTree);

@@ -25,7 +25,14 @@ fn main() {
         "Figure 2",
         "Weak scalability of variable-viscosity Stokes solver (MINRES iterations)",
     );
-    let mut table = Table::new(&["#cores", "#elem", "#elem/core", "#dof", "MINRES #iterations", "series"]);
+    let mut table = Table::new(&[
+        "#cores",
+        "#elem",
+        "#elem/core",
+        "#dof",
+        "MINRES #iterations",
+        "series",
+    ]);
 
     // Two series, separating the paper's *algorithmic* claim from the
     // block-Jacobi substitution artifact:
@@ -78,7 +85,11 @@ fn main() {
                 c,
                 visc,
                 bc,
-                StokesOptions { tol: 1e-8, max_iter: 600, ..Default::default() },
+                StokesOptions {
+                    tol: 1e-8,
+                    max_iter: 600,
+                    ..Default::default()
+                },
             );
             let (rhs, mut x) = solver.build_rhs(
                 |p| [0.0, 0.0, (std::f64::consts::PI * p[0]).sin()],

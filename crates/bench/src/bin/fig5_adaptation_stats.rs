@@ -13,7 +13,6 @@
 use mesh::extract::extract_mesh;
 use octree::parallel::DistOctree;
 use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
-use rhea::timers::PhaseTimers;
 use rhea::transport::{TransportParams, TransportSolver};
 use rhea_bench::{banner, Table};
 use scomm::spmd;
@@ -24,7 +23,10 @@ const ADAPT_EVERY: usize = 8; // paper uses 32; scaled with the run length
 const TARGET: u64 = 6000;
 
 fn main() {
-    banner("Figure 5", "Elements coarsened/refined/balanced/unchanged per adaptation step");
+    banner(
+        "Figure 5",
+        "Elements coarsened/refined/balanced/unchanged per adaptation step",
+    );
     let rows = spmd::run(RANKS, |c| {
         let mut tree = DistOctree::new_uniform(c, 3);
         let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
@@ -32,16 +34,19 @@ fn main() {
             .map(|d| {
                 let p = mesh.dof_coords(d);
                 // Sharp front: a tanh shell around a moving center.
-                let r = ((p[0] - 0.7).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                    .sqrt();
+                let r = ((p[0] - 0.7).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt();
                 0.5 * (1.0 - ((r - 0.2) * 40.0).tanh())
             })
             .collect();
         let mut out = Vec::new();
-        let mut timers = PhaseTimers::new();
+        let rec = obs::Recorder::new(c.rank());
         for adapt_step in 0..ADAPT_STEPS {
             // Advance the front between adaptations.
-            let params = TransportParams { kappa: 1e-6, source: 0.0, cfl: 0.4 };
+            let params = TransportParams {
+                kappa: 1e-6,
+                source: 0.0,
+                cfl: 0.4,
+            };
             let mut ts = TransportSolver::new(&mesh, c, params);
             ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.1 * (p[2] - 0.5)]);
             for _ in 0..ADAPT_EVERY {
@@ -58,7 +63,7 @@ fn main() {
                 ..Default::default()
             };
             let (new_mesh, mut new_fields, rep) =
-                adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+                adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &rec);
             mesh = new_mesh;
             temp = new_fields.remove(0);
             out.push((adapt_step, rep));
@@ -104,7 +109,12 @@ fn main() {
     for level in 0..=max_level {
         let mut cells = vec![level.to_string()];
         for &s in &pick {
-            let n = rows[0][s].1.level_histogram.get(level).copied().unwrap_or(0);
+            let n = rows[0][s]
+                .1
+                .level_histogram
+                .get(level)
+                .copied()
+                .unwrap_or(0);
             cells.push(n.to_string());
         }
         ltab.row(&cells);

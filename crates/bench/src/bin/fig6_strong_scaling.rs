@@ -17,7 +17,6 @@
 use mesh::extract::extract_mesh;
 use octree::parallel::DistOctree;
 use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
-use rhea::timers::PhaseTimers;
 use rhea::transport::{TransportParams, TransportSolver};
 use rhea_bench::{banner, human, paper_core_counts, Table};
 use scomm::{spmd, CommStats, MachineModel};
@@ -36,9 +35,13 @@ fn run_workload(ranks: usize, level: u8, steps: usize) -> (u64, CommStats, f64) 
             })
             .collect();
         let target = tree.global_count();
-        let mut timers = PhaseTimers::new();
+        let rec = obs::Recorder::new(c.rank());
         for s in 0..steps {
-            let params = TransportParams { kappa: 1e-6, source: 0.0, cfl: 0.4 };
+            let params = TransportParams {
+                kappa: 1e-6,
+                source: 0.0,
+                cfl: 0.4,
+            };
             let mut ts = TransportSolver::new(&mesh, c, params);
             ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
             let dt = ts.stable_dt().min(0.01);
@@ -52,8 +55,7 @@ fn run_workload(ranks: usize, level: u8, steps: usize) -> (u64, CommStats, f64) 
                     min_level: 1,
                     ..Default::default()
                 };
-                let (nm, mut nf, _) =
-                    adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+                let (nm, mut nf, _) = adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &rec);
                 mesh = nm;
                 temp = nf.remove(0);
             }
@@ -64,7 +66,10 @@ fn run_workload(ranks: usize, level: u8, steps: usize) -> (u64, CommStats, f64) 
 }
 
 fn main() {
-    banner("Figure 6", "Fixed-size scalability: speedups vs. cores for four problem sizes");
+    banner(
+        "Figure 6",
+        "Fixed-size scalability: speedups vs. cores for four problem sizes",
+    );
 
     // Calibrate per-element-step cost and per-rank comm profile from real
     // runs (ranks = 4 gives representative per-rank message counts).
@@ -128,13 +133,26 @@ fn main() {
     let anchors = [
         ("small  @512 vs 1", t_of(1.99e6, 1) / t_of(1.99e6, 512)),
         ("medium @1024 vs 16", t_of(32.7e6, 16) / t_of(32.7e6, 1024)),
-        ("large  @32768 vs 256", t_of(531e6, 256) / t_of(531e6, 32768)),
-        ("vlarge @61440 vs 4096", t_of(2.24e9, 4096) / t_of(2.24e9, 61440 / 4096 * 4096)),
+        (
+            "large  @32768 vs 256",
+            t_of(531e6, 256) / t_of(531e6, 32768),
+        ),
+        (
+            "vlarge @61440 vs 4096",
+            t_of(2.24e9, 4096) / t_of(2.24e9, 61440 / 4096 * 4096),
+        ),
     ];
     for (label, s) in anchors {
         println!("modeled {label}: {s:.1}×");
     }
-    println!("\nproblem sizes (paper): {}", problems.iter().map(|p| human(p.1 as u64)).collect::<Vec<_>>().join(", "));
+    println!(
+        "\nproblem sizes (paper): {}",
+        problems
+            .iter()
+            .map(|p| human(p.1 as u64))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!(
         "\nmodel caveat: the α–β network model gives an *upper bound* on speedup — the\n\
          paper's measured anchors sit lower because dynamic load imbalance and fat-tree\n\

@@ -6,14 +6,15 @@
 //! `ExtractMesh` (≤6%); all AMR together stays ≤11%; parallel efficiency
 //! stays above 50% over the 62K-fold scale-up.
 //!
-//! Here: the real AMR transport loop runs serially and on 4 simulated
-//! ranks to measure (a) the per-phase local work and (b) the per-rank
-//! communication profile of each phase; the machine model then produces
-//! the per-phase times at every paper core count. The printed breakdown
-//! reproduces the figure's structure: percentages per phase and the
-//! efficiency curve.
+//! Here: the real AMR transport loop runs under the `obs` tracing
+//! subsystem, serially (to measure per-phase local work) and on 4
+//! simulated ranks (to record the per-rank communication profile and
+//! emit the Chrome trace / run manifest under `results/obs/`); the
+//! machine model then produces the per-phase times at every paper core
+//! count. All printed breakdowns are derived from obs span data.
 
 use mesh::extract::extract_mesh;
+use obs::{ObsSession, RankProfile, Reduce, Summary, Value};
 use octree::parallel::DistOctree;
 use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
 use rhea::timers::{Phase, PhaseTimers};
@@ -21,28 +22,37 @@ use rhea::transport::{TransportParams, TransportSolver};
 use rhea_bench::{banner, paper_core_counts, Table};
 use scomm::{spmd, MachineModel};
 
-fn run_and_time(ranks: usize, level: u8, steps: usize, adapt_every: usize) -> (PhaseTimers, u64) {
-    let out = spmd::run(ranks, move |c| {
+/// Run the adaptive transport loop with tracing on and return the
+/// per-rank telemetry profiles plus the global element count.
+fn run_traced(
+    ranks: usize,
+    level: u8,
+    steps: usize,
+    adapt_every: usize,
+) -> (Vec<RankProfile>, u64) {
+    let (counts, profiles) = spmd::run_traced(ranks, move |c, rec| {
         let mut tree = DistOctree::new_uniform(c, level);
         let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
         let mut temp: Vec<f64> = (0..mesh.n_owned)
             .map(|d| {
                 let p = mesh.dof_coords(d);
-                let r = ((p[0] - 0.6).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                    .sqrt();
+                let r = ((p[0] - 0.6).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt();
                 0.5 * (1.0 - ((r - 0.25) * 30.0).tanh())
             })
             .collect();
         let target = tree.global_count();
-        let mut timers = PhaseTimers::new();
         for s in 0..steps {
-            let t0 = std::time::Instant::now();
-            let params = TransportParams { kappa: 1e-6, source: 0.0, cfl: 0.4 };
-            let mut ts = TransportSolver::new(&mesh, c, params);
-            ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
-            let dt = ts.stable_dt().min(0.01);
-            ts.step(&mut temp, dt);
-            timers.add(Phase::TimeIntegration, t0.elapsed().as_secs_f64());
+            rec.with_cat("TimeIntegration", "solve", || {
+                let params = TransportParams {
+                    kappa: 1e-6,
+                    source: 0.0,
+                    cfl: 0.4,
+                };
+                let mut ts = TransportSolver::new(&mesh, c, params);
+                ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
+                let dt = ts.stable_dt().min(0.01);
+                ts.step(&mut temp, dt);
+            });
             if adapt_every > 0 && s % adapt_every == adapt_every - 1 {
                 let ind = gradient_indicator(&mesh, c, &temp);
                 let fields = [temp.clone()];
@@ -52,23 +62,27 @@ fn run_and_time(ranks: usize, level: u8, steps: usize, adapt_every: usize) -> (P
                     min_level: 1,
                     ..Default::default()
                 };
-                let (nm, mut nf, _) =
-                    adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+                let (nm, mut nf, _) = adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, rec);
                 mesh = nm;
                 temp = nf.remove(0);
             }
         }
-        (timers, tree.global_count())
+        tree.global_count()
     });
-    out[0].clone()
+    (profiles, counts[0])
 }
 
 fn main() {
-    banner("Figure 7", "Weak scaling: % runtime per AMR function + parallel efficiency");
+    banner(
+        "Figure 7",
+        "Weak scaling: % runtime per AMR function + parallel efficiency",
+    );
     // Measure the per-phase serial profile on this host (1 rank = pure
     // local work, no contention).
     let steps = 32; // one adaptation per 32 steps, the paper's cadence
-    let (timers, n_elem) = run_and_time(1, 4, steps, 32);
+    let (serial_profiles, n_elem) = run_traced(1, 4, steps, 32);
+    let serial = &serial_profiles[0].summary;
+    let timers = PhaseTimers::from_summary(serial);
     let machine = MachineModel::ranger();
     let elem_per_core = n_elem as f64;
 
@@ -83,8 +97,7 @@ fn main() {
     //   InterpolateF.    ~ local only
     //   TimeIntegration  ~ 2 ghost exchanges per step (surface volume)
     let phases = Phase::ALL;
-    let host_to_flops =
-        |sec: f64| sec * machine.fem_efficiency * machine.peak_flops_per_core;
+    let host_to_flops = |sec: f64| sec * machine.fem_efficiency * machine.peak_flops_per_core;
     let surface_bytes = 8.0 * 6.0 * (elem_per_core).powf(2.0 / 3.0) * 8.0; // 8B/node, 6 faces
 
     let comm_time = |phase: Phase, p: usize| -> f64 {
@@ -96,7 +109,7 @@ fn main() {
         let ar = machine.t_allreduce(8.0, p);
         let ag = machine.t_allgather(8.0, p);
         match phase {
-            Phase::BalanceTree => 6.0 * (a2a + ar) ,
+            Phase::BalanceTree => 6.0 * (a2a + ar),
             Phase::PartitionTree => a2a * 4.0 + ag, // bulk element movement
             Phase::ExtractMesh => 5.0 * a2a + 4.0 * ag,
             Phase::MarkElements => 40.0 * ar,
@@ -136,9 +149,7 @@ fn main() {
         if p == 1 {
             base_total = total;
         }
-        let pct = |ph: Phase| -> f64 {
-            100.0 * t.iter().find(|x| x.0 == ph).unwrap().1 / total
-        };
+        let pct = |ph: Phase| -> f64 { 100.0 * t.iter().find(|x| x.0 == ph).unwrap().1 / total };
         let amr_pct: f64 = t
             .iter()
             .filter(|(ph, _)| ph.is_amr())
@@ -163,13 +174,61 @@ fn main() {
     table.print();
     println!();
     println!(
-        "measured serial profile ({} elements, {} steps, adapt every 32):", n_elem, steps
+        "measured serial span profile ({} elements, {} steps, adapt every 32):",
+        n_elem, steps
+    );
+    println!(
+        "  {:<18} {:>6} {:>10} {:>10}",
+        "phase", "count", "incl s", "excl s"
     );
     for ph in Phase::ALL {
-        let s = timers.get(ph);
-        if s > 0.0 {
-            println!("  {:<18} {:8.3} s", ph.label(), s);
+        if let Some(st) = serial.phases.get(ph.label()) {
+            println!(
+                "  {:<18} {:>6} {:>10.3} {:>10.3}",
+                ph.label(),
+                st.count,
+                st.incl_seconds(),
+                st.excl_seconds()
+            );
         }
+    }
+
+    // Four simulated ranks: record the real communication profile and
+    // emit the observability artifacts for this figure.
+    let ranks = 4;
+    let (profiles, n4) = run_traced(ranks, 3, 8, 4);
+    let merged = Summary::reduce_all(profiles.iter().map(|p| &p.summary));
+    println!();
+    println!("{ranks}-rank communication profile ({n4} elements, merged across ranks):");
+    println!("  {:<18} {:>8} {:>10}", "op", "calls", "incl s");
+    for (name, st) in merged.phases.iter().filter(|(_, st)| st.cat == "comm") {
+        println!("  {:<18} {:>8} {:>10.4}", name, st.count, st.incl_seconds());
+    }
+    if let Some(h) = merged.hists.get("comm.bytes") {
+        println!(
+            "  bytes on the wire: {} messages, {} B total",
+            h.count, h.sum
+        );
+    }
+    let extra = Value::object([
+        ("figure", Value::from("fig7")),
+        ("ranks", Value::from(ranks as u64)),
+        ("elements", Value::from(n4)),
+        ("serial_elements", Value::from(n_elem)),
+        ("steps", Value::from(steps as u64)),
+    ]);
+    match ObsSession::new("fig7_weak_breakdown").write(&profiles, extra) {
+        Ok(w) => {
+            println!();
+            println!("obs artifacts:");
+            println!("  manifest     {}", w.manifest.display());
+            println!(
+                "  chrome trace {}  (load in chrome://tracing)",
+                w.trace.display()
+            );
+            println!("  event log    {}", w.events.display());
+        }
+        Err(e) => eprintln!("warning: could not write obs artifacts: {e}"),
     }
     println!();
     println!(

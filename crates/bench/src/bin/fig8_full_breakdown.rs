@@ -7,27 +7,35 @@
 //! V-cycle times grow with scale.
 //!
 //! Here: the full RHEA loop (Stokes + transport + AMR) runs for real at
-//! host scale to measure the per-phase local profile; the machine model
-//! adds per-phase communication at each paper core count. AMG's modeled
-//! growth reflects its extra coarse-level collectives (log²P), the
-//! paper's observed trend.
+//! host scale under the `obs` tracing subsystem; the per-phase profile,
+//! solver telemetry (MINRES residual history, V-cycle counts) and the
+//! Chrome trace / run manifest under `results/obs/` all come from the
+//! recorded spans. The machine model adds per-phase communication at
+//! each paper core count. AMG's modeled growth reflects its extra
+//! coarse-level collectives (log²P), the paper's observed trend.
 
-use rhea::timers::Phase;
-use rhea_bench::{banner, convection_workload, paper_core_counts, Table};
+use obs::{ObsSession, Reduce, Summary, Value};
+use rhea::timers::{Phase, PhaseTimers};
+use rhea_bench::{banner, convection_workload_traced, paper_core_counts, Table};
 use scomm::MachineModel;
 
 fn main() {
-    banner("Figure 8", "Full mantle convection: per-time-step runtime breakdown");
+    banner(
+        "Figure 8",
+        "Full mantle convection: per-time-step runtime breakdown",
+    );
     let steps = 6;
     let adapt_every = 3; // paper: 16; scaled to the short run
-    let (timers, n_elem, minres_iters) = convection_workload(1, 4, steps, adapt_every);
+    let (serial_profiles, n_elem, minres_iters) =
+        convection_workload_traced(1, 4, steps, adapt_every);
+    let serial = &serial_profiles[0].summary;
+    let timers = PhaseTimers::from_summary(serial);
     let machine = MachineModel::ranger();
     println!(
         "measured serial run: {n_elem} elements, {steps} steps, {minres_iters} MINRES iterations\n"
     );
 
-    let host_to_flops =
-        |sec: f64| sec * machine.fem_efficiency * machine.peak_flops_per_core;
+    let host_to_flops = |sec: f64| sec * machine.fem_efficiency * machine.peak_flops_per_core;
     let elem_per_core = n_elem as f64;
     let surface_bytes = 8.0 * 6.0 * elem_per_core.powf(2.0 / 3.0) * 8.0;
 
@@ -69,8 +77,7 @@ fn main() {
     ]);
     for &p in &paper_core_counts(16384) {
         let per_step = |ph: Phase| -> f64 {
-            machine.t_fem_flops(host_to_flops(timers.get(ph))) / steps as f64
-                + comm_per_step(ph, p)
+            machine.t_fem_flops(host_to_flops(timers.get(ph))) / steps as f64 + comm_per_step(ph, p)
         };
         let amr: f64 = Phase::ALL
             .iter()
@@ -96,12 +103,68 @@ fn main() {
     }
     table.print();
     println!();
-    println!("measured serial phase profile:");
+    println!("measured serial span profile:");
+    println!(
+        "  {:<18} {:>6} {:>10} {:>12}",
+        "phase", "count", "incl s", "incl s/step"
+    );
     for ph in Phase::ALL {
-        let s = timers.get(ph);
-        if s > 0.0 {
-            println!("  {:<18} {:8.3} s total ({:.4} s/step)", ph.label(), s, s / steps as f64);
+        if let Some(st) = serial.phases.get(ph.label()) {
+            println!(
+                "  {:<18} {:>6} {:>10.3} {:>12.4}",
+                ph.label(),
+                st.count,
+                st.incl_seconds(),
+                st.incl_seconds() / steps as f64
+            );
         }
+    }
+    println!();
+    println!("solver telemetry (from obs counters/series):");
+    println!(
+        "  minres.iterations  {}",
+        serial.counter("minres.iterations")
+    );
+    println!("  amg.vcycles        {}", serial.counter("amg.vcycles"));
+    if let Some(res) = serial_profiles[0].series.get("minres.residual") {
+        if let (Some(first), Some(last)) = (res.first(), res.last()) {
+            println!(
+                "  minres.residual    {} samples, {first:.3e} → {last:.3e}",
+                res.len()
+            );
+        }
+    }
+
+    // Four simulated ranks: the same convection loop, traced, with the
+    // figure's observability artifacts written under results/obs/.
+    let ranks = 4;
+    let (profiles, n4, iters4) = convection_workload_traced(ranks, 3, 4, 2);
+    let merged = Summary::reduce_all(profiles.iter().map(|p| &p.summary));
+    println!();
+    println!(
+        "{ranks}-rank traced run: {n4} elements, {iters4} MINRES iterations, \
+         comm time {:.4} s (merged incl)",
+        merged.cat_incl_seconds("comm")
+    );
+    let extra = Value::object([
+        ("figure", Value::from("fig8")),
+        ("ranks", Value::from(ranks as u64)),
+        ("elements", Value::from(n4)),
+        ("minres_iterations", Value::from(iters4 as u64)),
+        ("serial_elements", Value::from(n_elem)),
+        ("steps", Value::from(steps as u64)),
+    ]);
+    match ObsSession::new("fig8_full_breakdown").write(&profiles, extra) {
+        Ok(w) => {
+            println!("obs artifacts:");
+            println!("  manifest     {}", w.manifest.display());
+            println!(
+                "  chrome trace {}  (load in chrome://tracing)",
+                w.trace.display()
+            );
+            println!("  event log    {}", w.events.display());
+        }
+        Err(e) => eprintln!("warning: could not write obs artifacts: {e}"),
     }
     println!();
     println!(

@@ -28,7 +28,13 @@ fn laplace_7pt(n: usize) -> Csr {
                 let c = id(i, j, k);
                 let mut diag = 6.0;
                 let mut nb = |ii: i64, jj: i64, kk: i64| {
-                    if ii >= 0 && jj >= 0 && kk >= 0 && ii < n as i64 && jj < n as i64 && kk < n as i64 {
+                    if ii >= 0
+                        && jj >= 0
+                        && kk >= 0
+                        && ii < n as i64
+                        && jj < n as i64
+                        && kk < n as i64
+                    {
                         t.push((c, id(ii as usize, jj as usize, kk as usize), -1.0));
                     } else {
                         diag += 0.0; // Dirichlet truncation keeps diag 6

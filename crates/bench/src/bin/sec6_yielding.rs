@@ -22,7 +22,10 @@ use scomm::spmd;
 const DOMAIN_X_KM: f64 = 23_200.0;
 
 fn main() {
-    banner("Section VI", "Mantle convection with yielding: AMR statistics");
+    banner(
+        "Section VI",
+        "Mantle convection with yielding: AMR statistics",
+    );
     let steps = 10;
     let max_level = 7u8;
     let out = spmd::run(2, move |c| {
@@ -41,11 +44,18 @@ fn main() {
                 source: 0.0,
                 cfl: 0.4,
             },
-            stokes: stokes::StokesOptions { tol: 1e-5, max_iter: 300, ..Default::default() },
+            stokes: stokes::StokesOptions {
+                tol: 1e-5,
+                max_iter: 300,
+                ..Default::default()
+            },
             picard_steps: 2,
         };
         let mut sim = ConvectionSim::new(c, 2, params);
-        let law = YieldingLaw { yield_stress: 1.0, exponent: 6.9 };
+        let law = YieldingLaw {
+            yield_stress: 1.0,
+            exponent: 6.9,
+        };
         for _ in 0..steps {
             let rep = sim.step(&law);
             assert!(rep.t_min > -0.2 && rep.t_max < 1.2, "temperature bounded");
@@ -68,14 +78,15 @@ fn main() {
     let reduction = uniform as f64 / n_elem as f64;
 
     let mut table = Table::new(&["quantity", "this run", "paper"]);
-    table.row(&[
-        "elements".into(),
-        human(n_elem),
-        "19.2M".into(),
-    ]);
+    table.row(&["elements".into(), human(n_elem), "19.2M".into()]);
     table.row(&[
         "octree levels".into(),
-        format!("{}–{} ({} levels)", min_level, max_used, max_used - min_level + 1),
+        format!(
+            "{}–{} ({} levels)",
+            min_level,
+            max_used,
+            max_used - min_level + 1
+        ),
         "up to 14".into(),
     ]);
     table.row(&[
@@ -85,7 +96,12 @@ fn main() {
     ]);
     table.row(&[
         "viscosity range".into(),
-        format!("{:.1e} – {:.1e} ({:.0e}×)", eta_min, eta_max, eta_max / eta_min),
+        format!(
+            "{:.1e} – {:.1e} ({:.0e}×)",
+            eta_min,
+            eta_max,
+            eta_max / eta_min
+        ),
         "4 orders of magnitude".into(),
     ]);
     table.row(&[
@@ -104,7 +120,10 @@ fn main() {
     }
     println!();
     // Verify the yielding law's structure at the run's conditions.
-    let law = YieldingLaw { yield_stress: 1.0, exponent: 6.9 };
+    let law = YieldingLaw {
+        yield_stress: 1.0,
+        exponent: 6.9,
+    };
     println!(
         "rheology sanity: cold lithosphere η = {}, hot yielded lithosphere η = {:.3},\n\
          cold lower mantle η = {}",

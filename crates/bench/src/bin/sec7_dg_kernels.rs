@@ -13,9 +13,7 @@
 //! crossover may shift from the paper's GotoBLAS point, but the
 //! flops-vs-cache tradeoff it demonstrates is architecture-independent.
 
-use mangll::kernels::{
-    matrix_derivative_flops, tensor_derivative_flops, ElementDerivative,
-};
+use mangll::kernels::{matrix_derivative_flops, tensor_derivative_flops, ElementDerivative};
 use rhea_bench::{banner, Table};
 
 fn time_kernel(f: impl Fn()) -> f64 {
@@ -88,7 +86,11 @@ fn main() {
         Some(p) => println!("measured crossover: tensor kernel wins from p = {p} on this host"),
         None => println!(
             "measured crossover: tensor kernel {} at every order on this host",
-            if prev_faster_matrix { "never wins" } else { "wins" }
+            if prev_faster_matrix {
+                "never wins"
+            } else {
+                "wins"
+            }
         ),
     }
     println!(

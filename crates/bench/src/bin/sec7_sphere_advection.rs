@@ -20,7 +20,10 @@ use scomm::{spmd, MachineModel};
 use std::sync::Arc;
 
 fn main() {
-    banner("Section VII / Fig. 12", "DG advection on the cubed sphere (24 octrees)");
+    banner(
+        "Section VII / Fig. 12",
+        "DG advection on the cubed sphere (24 octrees)",
+    );
     let conn = Arc::new(Connectivity::cubed_sphere(0.55, 1.0));
     let nsteps = 20;
     let order = 2;
@@ -31,13 +34,16 @@ fn main() {
             let f = Forest::new_uniform(c, conn.clone(), 1);
             let init = |q: [f64; 3]| {
                 let r = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2]).sqrt();
-                let d2 =
-                    (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
+                let d2 = (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
                 (-d2 / 0.05).exp()
             };
             let mut dg = DgAdvection::new(
                 &f,
-                DgParams { order, cfl: 0.25, ..Default::default() },
+                DgParams {
+                    order,
+                    cfl: 0.25,
+                    ..Default::default()
+                },
                 init,
                 |q| [-q[1], q[0], 0.0], // solid-body rotation about z
             );
@@ -77,13 +83,11 @@ fn main() {
     let mut table = Table::new(&["#cores", "p=4 efficiency", "p=6 efficiency"]);
     let eff = |p_order: usize, cores: usize| -> f64 {
         let n1 = (p_order + 1) as f64;
-        let flops = elems_per_core
-            * (tensor_derivative_flops(p_order) as f64 + 40.0 * n1.powi(3));
+        let flops = elems_per_core * (tensor_derivative_flops(p_order) as f64 + 40.0 * n1.powi(3));
         // Scale measured per-element cost by the order-dependent work.
         let scale = flops
             / (elems_per_core
-                * (tensor_derivative_flops(order) as f64
-                    + 40.0 * ((order + 1) as f64).powi(3)));
+                * (tensor_derivative_flops(order) as f64 + 40.0 * ((order + 1) as f64).powi(3)));
         let w = host_per_elem_step
             * machine.fem_efficiency
             * machine.peak_flops_per_core
@@ -94,8 +98,8 @@ fn main() {
             return 1.0;
         }
         let face_bytes = 5.0 * 6.0 * elems_per_core.powf(2.0 / 3.0) * n1 * n1 * 8.0;
-        let comm = 5.0 * machine.t_alltoallv(face_bytes, 26)
-            + 2.0 * machine.t_allreduce(8.0, cores);
+        let comm =
+            5.0 * machine.t_alltoallv(face_bytes, 26) + 2.0 * machine.t_allreduce(8.0, cores);
         t1 / (t1 + comm)
     };
     for &p in &paper_core_counts(32768) {

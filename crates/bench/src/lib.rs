@@ -32,7 +32,10 @@ pub fn human(n: u64) -> String {
 /// The core counts the paper sweeps (Figs. 6–8): powers of two plus the
 /// odd-sized full-machine runs.
 pub fn paper_core_counts(max: usize) -> Vec<usize> {
-    let mut v: Vec<usize> = (0..=16).map(|k| 1usize << k).take_while(|&c| c <= max).collect();
+    let mut v: Vec<usize> = (0..=16)
+        .map(|k| 1usize << k)
+        .take_while(|&c| c <= max)
+        .collect();
     if max >= 62464 && !v.contains(&62464) {
         v.push(62464);
     }
@@ -66,7 +69,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn row(&mut self, cells: &[String]) {
@@ -97,6 +103,66 @@ impl Table {
     }
 }
 
+/// Shared full-convection workload used by the Fig. 8 and Fig. 10
+/// harnesses: runs RHEA (Stokes + transport + AMR every `adapt_every`
+/// steps) on `ranks` simulated ranks with tracing on, and returns the
+/// per-rank telemetry profiles, the element count, and total MINRES
+/// iterations. The profiles carry the full span/series/histogram record —
+/// write them with [`obs::ObsSession`] or collapse them with
+/// [`rhea::timers::PhaseTimers::from_summary`].
+pub fn convection_workload_traced(
+    ranks: usize,
+    level: u8,
+    steps: usize,
+    adapt_every: usize,
+) -> (Vec<obs::RankProfile>, u64, usize) {
+    use rhea::convection::{ConvectionParams, ConvectionSim};
+    use rhea::rheology::ArrheniusLaw;
+    let (out, profiles) = scomm::spmd::run_traced(ranks, move |c, _rec| {
+        let params = ConvectionParams {
+            rayleigh: 1e5,
+            adapt_every,
+            adapt: rhea::adapt::AdaptParams {
+                target_elements: 8 * 8u64.pow(level as u32 - 1),
+                max_level: level + 2,
+                min_level: 1,
+                ..Default::default()
+            },
+            stokes: stokes::StokesOptions {
+                tol: 1e-6,
+                max_iter: 500,
+                ..Default::default()
+            },
+            picard_steps: 1,
+            ..Default::default()
+        };
+        let mut sim = ConvectionSim::new(c, level, params);
+        let law = ArrheniusLaw::default();
+        let mut iters = 0;
+        for _ in 0..steps {
+            let rep = sim.step(&law);
+            iters += rep.minres_iterations;
+        }
+        (sim.tree.global_count(), iters)
+    });
+    let (n_elem, iters) = out[0];
+    (profiles, n_elem, iters)
+}
+
+/// Classic view of [`convection_workload_traced`]: rank 0's phase timers
+/// (via the obs compat mapping), the element count, and total MINRES
+/// iterations.
+pub fn convection_workload(
+    ranks: usize,
+    level: u8,
+    steps: usize,
+    adapt_every: usize,
+) -> (rhea::timers::PhaseTimers, u64, usize) {
+    let (profiles, n_elem, iters) = convection_workload_traced(ranks, level, steps, adapt_every);
+    let timers = rhea::timers::PhaseTimers::from_summary(&profiles[0].summary);
+    (timers, n_elem, iters)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,42 +182,52 @@ mod tests {
         let w = paper_core_counts(8);
         assert_eq!(w, vec![1, 2, 4, 8]);
     }
-}
 
-/// Shared full-convection workload used by the Fig. 8 and Fig. 10
-/// harnesses: runs RHEA (Stokes + transport + AMR every `adapt_every`
-/// steps) on `ranks` simulated ranks and returns rank 0's phase timers,
-/// the element count, and total MINRES iterations.
-pub fn convection_workload(
-    ranks: usize,
-    level: u8,
-    steps: usize,
-    adapt_every: usize,
-) -> (rhea::timers::PhaseTimers, u64, usize) {
-    use rhea::convection::{ConvectionParams, ConvectionSim};
-    use rhea::rheology::ArrheniusLaw;
-    let out = scomm::spmd::run(ranks, move |c| {
-        let params = ConvectionParams {
-            rayleigh: 1e5,
-            adapt_every,
-            adapt: rhea::adapt::AdaptParams {
-                target_elements: 8 * 8u64.pow(level as u32 - 1),
-                max_level: level + 2,
-                min_level: 1,
-                ..Default::default()
-            },
-            stokes: stokes::StokesOptions { tol: 1e-6, max_iter: 500, ..Default::default() },
-            picard_steps: 1,
-            ..Default::default()
-        };
-        let mut sim = ConvectionSim::new(c, level, params);
-        let law = ArrheniusLaw::default();
-        let mut iters = 0;
-        for _ in 0..steps {
-            let rep = sim.step(&law);
-            iters += rep.minres_iterations;
+    /// The figure harnesses' acceptance path: a 4-rank traced run must
+    /// produce a valid Chrome trace with one track per rank and a
+    /// run manifest.
+    #[test]
+    fn traced_workload_writes_figure_artifacts() {
+        let dir = std::env::temp_dir().join(format!("rhea-bench-obs-{}", std::process::id()));
+        let (profiles, n_elem, iters) = convection_workload_traced(4, 2, 2, 2);
+        assert_eq!(profiles.len(), 4);
+        assert!(n_elem > 0 && iters > 0);
+        let extra = obs::Value::object([("ranks", obs::Value::from(4u64))]);
+        let written = obs::ObsSession::with_dir("fig_acceptance", &dir)
+            .write(&profiles, extra)
+            .expect("write obs artifacts");
+
+        let trace = obs::json::parse(&std::fs::read_to_string(&written.trace).unwrap())
+            .expect("trace is valid JSON");
+        let events = trace.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+        let mut track_tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .map(|e| e.get("tid").and_then(|t| t.as_u64()).unwrap())
+            .collect();
+        track_tids.sort_unstable();
+        assert_eq!(track_tids, vec![0, 1, 2, 3], "one track per simulated rank");
+        // Real span events exist on every rank's track.
+        for tid in 0..4u64 {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("tid").and_then(|t| t.as_u64()) == Some(tid)
+                }),
+                "rank {tid} has complete events"
+            );
         }
-        (sim.timers.clone(), sim.tree.global_count(), iters)
-    });
-    out[0].clone()
+
+        let manifest = obs::json::parse(&std::fs::read_to_string(&written.manifest).unwrap())
+            .expect("manifest is valid JSON");
+        assert_eq!(
+            manifest.get("schema").and_then(|v| v.as_str()),
+            Some("obs.run.v1")
+        );
+        assert_eq!(manifest.get("nranks").and_then(|v| v.as_u64()), Some(4));
+        let merged = manifest.get("merged").unwrap();
+        assert!(merged.get("phases").unwrap().get("MINRES").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -66,14 +66,16 @@ mod tests {
         scomm::spmd::run(2, |comm| {
             let mut tree = DistOctree::new_uniform(comm, 2);
             let mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
-            let field: Vec<f64> =
-                (0..mesh.n_owned).map(|d| mesh.dof_coords(d)[0]).collect();
+            let field: Vec<f64> = (0..mesh.n_owned).map(|d| mesh.dof_coords(d)[0]).collect();
             let ind: Vec<f64> = tree
                 .local
                 .iter()
                 .map(|o| (1.0 - o.center_unit()[0]).max(0.0))
                 .collect();
-            let params = MarkParams { target_elements: 200, ..Default::default() };
+            let params = MarkParams {
+                target_elements: 200,
+                ..Default::default()
+            };
             tree.adapt_to_target(&ind, &params);
             tree.balance(BalanceKind::Full);
             let mid = extract_mesh(&tree, [1.0, 1.0, 1.0]);

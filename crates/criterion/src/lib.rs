@@ -1,0 +1,197 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the API surface the
+//! workspace's `benches/` use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — as
+//! a plain wall-clock timer with median-of-samples reporting. No
+//! statistical analysis, plots, or baselines; output is one line per
+//! benchmark on stdout.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (stable-Rust approximation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stand-in runs
+/// one routine call per setup call regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations.
+    pub(crate) recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly; the routine's return value is black-boxed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call.
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.recorded.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(t0.elapsed());
+        }
+    }
+}
+
+fn human_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(group: Option<&str>, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    f(&mut b);
+    let mut times = b.recorded;
+    times.sort();
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if times.is_empty() {
+        println!("bench {label:<44} (no samples)");
+        return;
+    }
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    println!(
+        "bench {label:<44} median {:>12}   [{} .. {}]  ({} samples)",
+        human_duration(median),
+        human_duration(min),
+        human_duration(max),
+        times.len()
+    );
+}
+
+/// The benchmark context handed to every target function.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        run_one(None, name.as_ref(), self.default_samples, &mut f);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group; carries its own sample-size override.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        run_one(Some(&self.name), name.as_ref(), self.samples, &mut f);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: `criterion_group!(name, target, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point: `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(human_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(human_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(human_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -8,8 +8,8 @@
 
 /// 2-point Gauss–Legendre abscissae on `[0,1]` (degree-3 exactness).
 pub const GAUSS_2: [(f64, f64); 2] = [
-    (0.211324865405187118, 0.5), // ( (1 - 1/√3)/2 , weight )
-    (0.788675134594812882, 0.5),
+    (0.211_324_865_405_187_1, 0.5), // ( (1 - 1/√3)/2 , weight )
+    (0.788_675_134_594_812_9, 0.5),
 ];
 
 /// Trilinear shape function `N_c` at reference point `(x,y,z) ∈ [0,1]^3`.
@@ -24,9 +24,21 @@ pub fn shape(c: usize, x: f64, y: f64, z: f64) -> f64 {
 /// Reference gradient `∇̂N_c` at `(x,y,z)`.
 #[inline]
 pub fn shape_grad(c: usize, x: f64, y: f64, z: f64) -> [f64; 3] {
-    let (wx, dx) = if c & 1 == 1 { (x, 1.0) } else { (1.0 - x, -1.0) };
-    let (wy, dy) = if (c >> 1) & 1 == 1 { (y, 1.0) } else { (1.0 - y, -1.0) };
-    let (wz, dz) = if (c >> 2) & 1 == 1 { (z, 1.0) } else { (1.0 - z, -1.0) };
+    let (wx, dx) = if c & 1 == 1 {
+        (x, 1.0)
+    } else {
+        (1.0 - x, -1.0)
+    };
+    let (wy, dy) = if (c >> 1) & 1 == 1 {
+        (y, 1.0)
+    } else {
+        (1.0 - y, -1.0)
+    };
+    let (wz, dz) = if (c >> 2) & 1 == 1 {
+        (z, 1.0)
+    } else {
+        (1.0 - z, -1.0)
+    };
     [dx * wy * wz, wx * dy * wz, wx * wy * dz]
 }
 
@@ -383,13 +395,8 @@ mod tests {
             assert!(r.abs() < 1e-13);
         }
         // The checkerboard mode is penalized.
-        let cb: [f64; 8] = std::array::from_fn(|i| {
-            if (i.count_ones() & 1) == 0 {
-                1.0
-            } else {
-                -1.0
-            }
-        });
+        let cb: [f64; 8] =
+            std::array::from_fn(|i| if (i.count_ones() & 1) == 0 { 1.0 } else { -1.0 });
         let mut q = 0.0;
         for i in 0..8 {
             for j in 0..8 {

@@ -23,7 +23,7 @@ pub mod op;
 
 pub use assembly::{assemble_owned_block, ElementMatrixSource};
 pub use element::{
-    advection_matrix, divergence_matrix, mass_matrix, pressure_stabilization,
-    stiffness_matrix, supg_matrices, supg_tau, viscous_matrix, GAUSS_2,
+    advection_matrix, divergence_matrix, mass_matrix, pressure_stabilization, stiffness_matrix,
+    supg_matrices, supg_tau, viscous_matrix, GAUSS_2,
 };
 pub use op::{DistOp, DofMap};

@@ -76,7 +76,9 @@ impl<'a> DofMap<'a> {
             for i in 0..n_local {
                 scratch[i] = v[i * self.ncomp + c];
             }
-            self.mesh.exchange.exchange(self.comm, &mut scratch, self.mesh.n_owned);
+            self.mesh
+                .exchange
+                .exchange(self.comm, &mut scratch, self.mesh.n_owned);
             for i in 0..n_local {
                 v[i * self.ncomp + c] = scratch[i];
             }
@@ -86,7 +88,9 @@ impl<'a> DofMap<'a> {
     /// Reverse-accumulate ghost contributions to owners (assembly step).
     pub fn reverse_accumulate(&self, v: &mut [f64]) {
         if self.ncomp == 1 {
-            self.mesh.exchange.reverse_accumulate(self.comm, v, self.mesh.n_owned);
+            self.mesh
+                .exchange
+                .reverse_accumulate(self.comm, v, self.mesh.n_owned);
             return;
         }
         let n_local = self.mesh.n_local();
@@ -95,7 +99,9 @@ impl<'a> DofMap<'a> {
             for i in 0..n_local {
                 scratch[i] = v[i * self.ncomp + c];
             }
-            self.mesh.exchange.reverse_accumulate(self.comm, &mut scratch, self.mesh.n_owned);
+            self.mesh
+                .exchange
+                .reverse_accumulate(self.comm, &mut scratch, self.mesh.n_owned);
             for i in 0..n_local {
                 v[i * self.ncomp + c] = scratch[i];
             }
@@ -239,8 +245,7 @@ mod tests {
             let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
             let map = DofMap::new(&m, c, 1);
             let pi = std::f64::consts::PI;
-            let exact =
-                |p: [f64; 3]| (pi * p[0]).sin() * (pi * p[1]).sin() * (pi * p[2]).sin();
+            let exact = |p: [f64; 3]| (pi * p[0]).sin() * (pi * p[1]).sin() * (pi * p[2]).sin();
             let f = |p: [f64; 3]| 3.0 * pi * pi * exact(p);
 
             let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();

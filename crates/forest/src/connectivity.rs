@@ -68,7 +68,11 @@ impl FaceTransform {
     pub fn apply(&self, anchor: [i64; 3], level: u8) -> Octant {
         let len = (1u32 << (octree::MAX_LEVEL - level)) as i64;
         // Doubled center coordinates stay integral under reflections.
-        let c2 = [2 * anchor[0] + len, 2 * anchor[1] + len, 2 * anchor[2] + len];
+        let c2 = [
+            2 * anchor[0] + len,
+            2 * anchor[1] + len,
+            2 * anchor[2] + len,
+        ];
         let mut out2 = [0i64; 3];
         for i in 0..3 {
             out2[i] = self.sign[i] * c2[self.axis[i]] + self.off[i];
@@ -102,7 +106,11 @@ pub struct Connectivity {
 /// Lattice coordinates of tree corner `c` (doubled units not applied).
 fn corner_coords(c: usize) -> [i64; 3] {
     let r = ROOT_LEN as i64;
-    [((c & 1) as i64) * r, (((c >> 1) & 1) as i64) * r, (((c >> 2) & 1) as i64) * r]
+    [
+        ((c & 1) as i64) * r,
+        (((c >> 1) & 1) as i64) * r,
+        (((c >> 2) & 1) as i64) * r,
+    ]
 }
 
 impl Connectivity {
@@ -187,7 +195,13 @@ impl Connectivity {
             let sa = d_src.iter().position(|&v| v != 0).unwrap();
             let da = d_dst.iter().position(|&v| v != 0).unwrap();
             // Column `sa` of A is ±e_da.
-            axis_set(&mut axis, &mut sign, da, sa, d_dst[da] / r * d_src[sa].signum());
+            axis_set(
+                &mut axis,
+                &mut sign,
+                da,
+                sa,
+                d_dst[da] / r * d_src[sa].signum(),
+            );
         }
         let n0 = (f0 / 2) as usize;
         let n1 = (f1 / 2) as usize;
@@ -201,7 +215,13 @@ impl Connectivity {
         for i in 0..3 {
             off[i] = 2 * (dst_pts[0][i] - sign[i] * src_pts[0][axis[i]]);
         }
-        FaceTransform { tree: t1, face: f1, axis, sign, off }
+        FaceTransform {
+            tree: t1,
+            face: f1,
+            axis,
+            sign,
+            off,
+        }
     }
 
     /// Map a reference point `(u,v,w) ∈ [0,1]^3` of `tree` to physical
@@ -260,7 +280,11 @@ impl Connectivity {
                 ]
             })
             .collect();
-        Connectivity::new(vertices, vec![[0, 1, 2, 3, 4, 5, 6, 7]], TreeGeometry::Trilinear)
+        Connectivity::new(
+            vertices,
+            vec![[0, 1, 2, 3, 4, 5, 6, 7]],
+            TreeGeometry::Trilinear,
+        )
     }
 
     /// An `nx × ny × nz` brick of unit-cube trees covering
@@ -268,9 +292,8 @@ impl Connectivity {
     /// `brick(8, 4, 1)`, Section VI).
     pub fn brick(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx >= 1 && ny >= 1 && nz >= 1);
-        let vid = |i: usize, j: usize, k: usize| -> u32 {
-            (i + (nx + 1) * (j + (ny + 1) * k)) as u32
-        };
+        let vid =
+            |i: usize, j: usize, k: usize| -> u32 { (i + (nx + 1) * (j + (ny + 1) * k)) as u32 };
         let mut vertices = Vec::with_capacity((nx + 1) * (ny + 1) * (nz + 1));
         for k in 0..=nz {
             for j in 0..=ny {
@@ -390,8 +413,7 @@ impl Connectivity {
                     // Map the image's *interior* position back: the image
                     // sits just inside tree fwd.tree at face fwd.face;
                     // push it out through that face and apply bwd.
-                    let mut back_anchor =
-                        [img.x as i64, img.y as i64, img.z as i64];
+                    let mut back_anchor = [img.x as i64, img.y as i64, img.z as i64];
                     let n1 = (fwd.face / 2) as usize;
                     back_anchor[n1] += if fwd.face % 2 == 1 { len } else { -len };
                     let back = bwd.apply(back_anchor, level);
@@ -417,8 +439,16 @@ fn axis_set(axis: &mut [usize; 3], sign: &mut [i64; 3], out_axis: usize, in_axis
 /// Trilinear corner weight of corner `c` at reference point `uvw`.
 fn weight(uvw: [f64; 3], c: usize) -> f64 {
     let wx = if c & 1 == 1 { uvw[0] } else { 1.0 - uvw[0] };
-    let wy = if (c >> 1) & 1 == 1 { uvw[1] } else { 1.0 - uvw[1] };
-    let wz = if (c >> 2) & 1 == 1 { uvw[2] } else { 1.0 - uvw[2] };
+    let wy = if (c >> 1) & 1 == 1 {
+        uvw[1]
+    } else {
+        1.0 - uvw[1]
+    };
+    let wz = if (c >> 2) & 1 == 1 {
+        uvw[2]
+    } else {
+        1.0 - uvw[2]
+    };
     wx * wy * wz
 }
 
@@ -479,8 +509,9 @@ mod tests {
         assert!(c.validate(), "all 24-tree face transforms must round-trip");
         // Every tree has exactly 4 lateral connections (z is radial).
         for t in 0..24u32 {
-            let lateral =
-                (0..4).filter(|&f| c.neighbor_across(t, f).is_some()).count();
+            let lateral = (0..4)
+                .filter(|&f| c.neighbor_across(t, f).is_some())
+                .count();
             assert_eq!(lateral, 4, "tree {t}");
             assert!(c.neighbor_across(t, 4).is_none(), "inner shell boundary");
             assert!(c.neighbor_across(t, 5).is_none(), "outer shell boundary");

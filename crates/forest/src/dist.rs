@@ -91,7 +91,13 @@ impl<'c> Forest<'c> {
                 oct: Octant::from_uniform_index(level, g % per_tree),
             })
             .collect();
-        let mut f = Forest { comm, conn, local, markers: Vec::new(), counts: Vec::new() };
+        let mut f = Forest {
+            comm,
+            conn,
+            local,
+            markers: Vec::new(),
+            counts: Vec::new(),
+        };
         f.update_markers();
         f
     }
@@ -107,10 +113,14 @@ impl<'c> Forest<'c> {
     }
 
     fn update_markers(&mut self) {
-        let first = self.local.first().map(|l| l.curve_key()).unwrap_or(u128::MAX);
-        let gathered = self
-            .comm
-            .allgatherv(&[(first >> 64) as u64, first as u64, self.local.len() as u64]);
+        let first = self
+            .local
+            .first()
+            .map(|l| l.curve_key())
+            .unwrap_or(u128::MAX);
+        let gathered =
+            self.comm
+                .allgatherv(&[(first >> 64) as u64, first as u64, self.local.len() as u64]);
         let p = self.comm.size();
         self.markers = vec![u128::MAX; p];
         self.counts = vec![0; p];
@@ -143,13 +153,21 @@ impl<'c> Forest<'c> {
     /// Rank owning the region of `leaf`.
     pub fn owner_of(&self, leaf: &ForestLeaf) -> usize {
         let key = leaf.curve_key();
-        self.markers.partition_point(|&m| m <= key).saturating_sub(1)
+        self.markers
+            .partition_point(|&m| m <= key)
+            .saturating_sub(1)
     }
 
     /// Inclusive rank range intersecting the region of `leaf`.
     pub fn owner_range(&self, leaf: &ForestLeaf) -> (usize, usize) {
-        let lo = self.owner_of(&ForestLeaf { tree: leaf.tree, oct: leaf.oct.first_descendant() });
-        let hi = self.owner_of(&ForestLeaf { tree: leaf.tree, oct: leaf.oct.last_descendant() });
+        let lo = self.owner_of(&ForestLeaf {
+            tree: leaf.tree,
+            oct: leaf.oct.first_descendant(),
+        });
+        let hi = self.owner_of(&ForestLeaf {
+            tree: leaf.tree,
+            oct: leaf.oct.last_descendant(),
+        });
         (lo, hi)
     }
 
@@ -176,7 +194,10 @@ impl<'c> Forest<'c> {
                 let axis = out[0];
                 let face = (2 * axis + usize::from(a[axis] >= lim)) as u8;
                 let t = self.conn.neighbor_across(leaf.tree, face)?;
-                Some(ForestLeaf { tree: t.tree, oct: t.apply(a, o.level) })
+                Some(ForestLeaf {
+                    tree: t.tree,
+                    oct: t.apply(a, o.level),
+                })
             }
             _ => None,
         }
@@ -202,7 +223,10 @@ impl<'c> Forest<'c> {
         let mut count = 0;
         for &l in &self.local {
             if should_refine(&l) && l.oct.level < octree::MAX_LEVEL {
-                out.extend(l.oct.children().into_iter().map(|c| ForestLeaf { tree: l.tree, oct: c }));
+                out.extend(l.oct.children().into_iter().map(|c| ForestLeaf {
+                    tree: l.tree,
+                    oct: c,
+                }));
                 count += 1;
             } else {
                 out.push(l);
@@ -215,8 +239,8 @@ impl<'c> Forest<'c> {
 
     /// `CoarsenTree` on the forest: merge complete same-tree families
     /// whose eight leaves are all marked.
-    pub fn coarsen<F: FnMut(&ForestLeaf) -> bool>(&mut self, mut should_coarsen: F) -> usize {
-        let marks: Vec<bool> = self.local.iter().map(|l| should_coarsen(l)).collect();
+    pub fn coarsen<F: FnMut(&ForestLeaf) -> bool>(&mut self, should_coarsen: F) -> usize {
+        let marks: Vec<bool> = self.local.iter().map(should_coarsen).collect();
         let n = self.coarsen_marked(&marks);
         self.update_markers();
         n
@@ -237,7 +261,10 @@ impl<'c> Forest<'c> {
                         && marks[i + k]
                 });
                 if ok {
-                    out.push(ForestLeaf { tree: l.tree, oct: parent });
+                    out.push(ForestLeaf {
+                        tree: l.tree,
+                        oct: parent,
+                    });
                     count += 1;
                     i += 8;
                     continue;
@@ -299,7 +326,9 @@ impl<'c> Forest<'c> {
                 let mut to_refine = vec![false; self.local.len()];
                 for l in &self.local {
                     for &(dx, dy, dz) in &dirs {
-                        let Some(n) = self.neighbor(l, dx, dy, dz) else { continue };
+                        let Some(n) = self.neighbor(l, dx, dy, dz) else {
+                            continue;
+                        };
                         if let Some(i) = self.find_containing(&n) {
                             if self.local[i].oct.level + 1 < l.oct.level && !to_refine[i] {
                                 to_refine[i] = true;
@@ -319,7 +348,9 @@ impl<'c> Forest<'c> {
             let mut outgoing: Vec<Vec<(ForestLeaf, u64)>> = vec![Vec::new(); p];
             for l in &self.local {
                 for &(dx, dy, dz) in &dirs {
-                    let Some(n) = self.neighbor(l, dx, dy, dz) else { continue };
+                    let Some(n) = self.neighbor(l, dx, dy, dz) else {
+                        continue;
+                    };
                     let (rlo, rhi) = self.owner_range(&n);
                     for r in rlo..=rhi {
                         if r != self.comm.rank() {
@@ -358,7 +389,10 @@ impl<'c> Forest<'c> {
         let mut out = Vec::with_capacity(self.local.len());
         for &l in &self.local {
             if flags[*cursor] {
-                out.extend(l.oct.children().into_iter().map(|c| ForestLeaf { tree: l.tree, oct: c }));
+                out.extend(l.oct.children().into_iter().map(|c| ForestLeaf {
+                    tree: l.tree,
+                    oct: c,
+                }));
             } else {
                 out.push(l);
             }
@@ -396,7 +430,10 @@ impl<'c> Forest<'c> {
         }
         self.local = new_local;
         self.update_markers();
-        PartitionPlan { send_ranges, new_len: self.local.len() }
+        PartitionPlan {
+            send_ranges,
+            new_len: self.local.len(),
+        }
     }
 
     /// Ghost layer: remote leaves adjacent (within-tree 26-neighborhood or
@@ -408,7 +445,9 @@ impl<'c> Forest<'c> {
         for l in &self.local {
             let mut sent = Vec::new();
             for (dx, dy, dz) in Octant::neighbor_directions() {
-                let Some(n) = self.neighbor(l, dx, dy, dz) else { continue };
+                let Some(n) = self.neighbor(l, dx, dy, dz) else {
+                    continue;
+                };
                 let (rlo, rhi) = self.owner_range(&n);
                 for r in rlo..=rhi.min(p - 1) {
                     if r != me && !sent.contains(&r) {
@@ -435,7 +474,7 @@ impl<'c> Forest<'c> {
                 }
             }
         }
-        ghosts.sort_by(|a, b| a.1.cmp(&b.1));
+        ghosts.sort_by_key(|a| a.1);
         ghosts.dedup();
         ghosts
     }
@@ -448,13 +487,15 @@ impl<'c> Forest<'c> {
             .windows(2)
             .all(|w| w[0] < w[1] && !w[0].contains(&w[1]));
         // Global order across ranks.
-        let first = self.local.first().map(|l| l.curve_key()).unwrap_or(u128::MAX);
+        let first = self
+            .local
+            .first()
+            .map(|l| l.curve_key())
+            .unwrap_or(u128::MAX);
         let last = self
             .local
             .last()
-            .map(|l| {
-                ((l.tree as u128) << 64) | l.oct.last_descendant().key() as u128
-            })
+            .map(|l| ((l.tree as u128) << 64) | l.oct.last_descendant().key() as u128)
             .unwrap_or(0);
         let firsts = self.comm.allgatherv(&[(first >> 64) as u64, first as u64]);
         let lasts = self.comm.allgatherv(&[(last >> 64) as u64, last as u64]);
@@ -561,9 +602,12 @@ mod tests {
         spmd::run(1, |c| {
             let f = Forest::new_uniform(c, conn.clone(), 2);
             for l in &f.local {
-                for (f_dir, (dx, dy, dz)) in
-                    [(0, (-1, 0, 0)), (1, (1, 0, 0)), (2, (0, -1, 0)), (3, (0, 1, 0))]
-                {
+                for (f_dir, (dx, dy, dz)) in [
+                    (0, (-1, 0, 0)),
+                    (1, (1, 0, 0)),
+                    (2, (0, -1, 0)),
+                    (3, (0, 1, 0)),
+                ] {
                     let _ = f_dir;
                     assert!(
                         f.neighbor(l, dx, dy, dz).is_some(),
@@ -654,7 +698,10 @@ mod tests {
                     (-(p[0] - 1.0).powi(2) * 10.0).exp()
                 })
                 .collect();
-            let params = MarkParams { target_elements: 3000, ..Default::default() };
+            let params = MarkParams {
+                target_elements: 3000,
+                ..Default::default()
+            };
             f.adapt_to_target(&ind, &params);
             assert!(f.validate());
             let n = f.global_count() as f64;

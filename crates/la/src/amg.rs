@@ -34,7 +34,12 @@ pub struct AmgOptions {
 
 impl Default for AmgOptions {
     fn default() -> Self {
-        AmgOptions { theta: 0.08, smooth_sweeps: 1, max_coarse: 64, max_levels: 20 }
+        AmgOptions {
+            theta: 0.08,
+            smooth_sweeps: 1,
+            max_coarse: 64,
+            max_levels: 20,
+        }
     }
 }
 
@@ -198,7 +203,12 @@ impl Amg {
             let p = Csr::from_triplets(current.nrows, n_agg, &p_trip);
             let r = p.transpose();
             let coarse = r.matmul(&current.matmul(&p));
-            levels.push(Level { a: current, diag, p, r });
+            levels.push(Level {
+                a: current,
+                diag,
+                p,
+                r,
+            });
             current = coarse;
         }
         // Direct coarse solve, with graceful degradation for singular
@@ -215,12 +225,21 @@ impl Amg {
             None => match Lu::factor(&dense, n) {
                 Some(lu) => CoarseSolve::Lu(lu),
                 None => {
-                    let d = current.diagonal().iter().map(|&v| if v.abs() < 1e-300 { 1.0 } else { v }).collect();
+                    let d = current
+                        .diagonal()
+                        .iter()
+                        .map(|&v| if v.abs() < 1e-300 { 1.0 } else { v })
+                        .collect();
                     CoarseSolve::Jacobi(current.clone(), d)
                 }
             },
         };
-        Amg { levels, coarse_a: current, coarse, options }
+        Amg {
+            levels,
+            coarse_a: current,
+            coarse,
+            options,
+        }
     }
 
     /// Number of levels including the coarse grid.
@@ -325,7 +344,13 @@ mod tests {
                     let c = id(i, j, k);
                     let mut diag = 0.0;
                     let mut push = |ii: i64, jj: i64, kk: i64| {
-                        if ii < 0 || jj < 0 || kk < 0 || ii >= n as i64 || jj >= n as i64 || kk >= n as i64 {
+                        if ii < 0
+                            || jj < 0
+                            || kk < 0
+                            || ii >= n as i64
+                            || jj >= n as i64
+                            || kk >= n as i64
+                        {
                             // Dirichlet boundary: drop the neighbor but
                             // keep the diagonal contribution.
                             diag += kappa(i, j, k);
@@ -333,7 +358,8 @@ mod tests {
                         }
                         let o = id(ii as usize, jj as usize, kk as usize);
                         // Harmonic-mean-ish symmetric coefficient.
-                        let kc = 0.5 * (kappa(i, j, k) + kappa(ii as usize, jj as usize, kk as usize));
+                        let kc =
+                            0.5 * (kappa(i, j, k) + kappa(ii as usize, jj as usize, kk as usize));
                         t.push((c, o, -kc));
                         diag += kc;
                     };
@@ -361,9 +387,17 @@ mod tests {
         amg.vcycle(&b, &mut x);
         let mut r = vec![0.0; n];
         a.matvec(&x, &mut r);
-        let res: f64 = r.iter().zip(&b).map(|(ri, bi)| (ri - bi).powi(2)).sum::<f64>().sqrt();
+        let res: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (ri - bi).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let b0: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(res < 0.5 * b0, "one V-cycle should cut the residual: {res} vs {b0}");
+        assert!(
+            res < 0.5 * b0,
+            "one V-cycle should cut the residual: {res} vs {b0}"
+        );
     }
 
     #[test]
@@ -422,7 +456,7 @@ mod tests {
         let a = poisson3d(12, |_, _, _| 1.0);
         let amg = Amg::new(a, AmgOptions::default());
         let oc = amg.operator_complexity();
-        assert!(oc >= 1.0 && oc < 3.0, "operator complexity {oc}");
+        assert!((1.0..3.0).contains(&oc), "operator complexity {oc}");
     }
 
     #[test]
@@ -432,8 +466,12 @@ mod tests {
         let a = poisson3d(6, |i, j, _| 1.0 + (i * j) as f64);
         let n = a.nrows;
         let amg = Amg::new(a, AmgOptions::default());
-        let u: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
-        let v: Vec<f64> = (0..n).map(|i| ((i * 40503) % 997) as f64 / 997.0 - 0.3).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i * 40503) % 997) as f64 / 997.0 - 0.3)
+            .collect();
         let mut bu = vec![0.0; n];
         let mut bv = vec![0.0; n];
         amg.vcycle(&u, &mut bu);

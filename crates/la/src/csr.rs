@@ -55,7 +55,13 @@ impl Csr {
             }
             row_ptr[r + 1] = col_idx.len();
         }
-        Csr { nrows, ncols, row_ptr, col_idx, values }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Identity matrix.
@@ -149,7 +155,13 @@ impl Csr {
                 cursor[c] += 1;
             }
         }
-        Csr { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, values }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Sparse product `A · B`.
@@ -186,7 +198,13 @@ impl Csr {
             }
             row_ptr[r + 1] = col_idx.len();
         }
-        Csr { nrows: n, ncols: m, row_ptr, col_idx, values }
+        Csr {
+            nrows: n,
+            ncols: m,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Frobenius-norm difference to another matrix of the same shape
@@ -219,7 +237,15 @@ mod tests {
         Csr::from_triplets(
             3,
             3,
-            &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0), (1, 2, 1.0), (2, 1, 1.0), (2, 2, 4.0)],
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 4.0),
+            ],
         )
     }
 

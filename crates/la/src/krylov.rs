@@ -74,6 +74,31 @@ where
     M: LinearOp + ?Sized,
     D: Fn(&[f64], &[f64]) -> f64,
 {
+    minres_observed(a, m_inv, b, x, tol, max_iter, dot, |_, _| {})
+}
+
+/// [`minres`] with a per-iteration observer `observe(iteration,
+/// residual_estimate)` — the hook the telemetry layer uses to record
+/// residual histories without coupling the solver to any recorder type.
+/// The residual estimate is the preconditioned norm `|η|` that the
+/// convergence test uses.
+#[allow(clippy::too_many_arguments)]
+pub fn minres_observed<A, M, D, O>(
+    a: &A,
+    m_inv: Option<&M>,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+    dot: D,
+    mut observe: O,
+) -> SolveInfo
+where
+    A: LinearOp + ?Sized,
+    M: LinearOp + ?Sized,
+    D: Fn(&[f64], &[f64]) -> f64,
+    O: FnMut(usize, f64),
+{
     let n = b.len();
     let apply_m = |r: &[f64], z: &mut [f64]| match m_inv {
         Some(m) => m.apply(r, z),
@@ -97,7 +122,11 @@ where
     let mut gamma1 = g2.max(0.0).sqrt();
     let gamma_init = gamma1;
     if gamma1 == 0.0 {
-        return SolveInfo { iterations: 0, converged: true, residual: 0.0 };
+        return SolveInfo {
+            iterations: 0,
+            converged: true,
+            residual: 0.0,
+        };
     }
     let mut gamma0 = 1.0f64; // γ0 (unused weight on the vanishing j=1 term)
 
@@ -145,7 +174,7 @@ where
             w2[i] = (z1[i] - alpha3 * w0[i] - alpha2 * w1[i]) / alpha1;
             x[i] += c1 * eta * w2[i];
         }
-        eta = -s1 * eta;
+        eta *= -s1;
 
         // Shift state.
         std::mem::swap(&mut r0, &mut r1);
@@ -156,11 +185,20 @@ where
         w0 = w1;
         w1 = w2;
 
+        observe(iter, eta.abs());
         if eta.abs() <= tol * gamma_init || gamma1 == 0.0 {
-            return SolveInfo { iterations: iter, converged: true, residual: eta.abs() };
+            return SolveInfo {
+                iterations: iter,
+                converged: true,
+                residual: eta.abs(),
+            };
         }
     }
-    SolveInfo { iterations: max_iter, converged: false, residual: eta.abs() }
+    SolveInfo {
+        iterations: max_iter,
+        converged: false,
+        residual: eta.abs(),
+    }
 }
 
 /// Conjugate gradients for SPD `A` with optional SPD preconditioner.
@@ -197,7 +235,11 @@ where
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 {
-            return SolveInfo { iterations: iter, converged: false, residual: rz.abs().sqrt() };
+            return SolveInfo {
+                iterations: iter,
+                converged: false,
+                residual: rz.abs().sqrt(),
+            };
         }
         let alpha = rz / pap;
         for i in 0..n {
@@ -206,7 +248,11 @@ where
         }
         let rnorm = dot(&r, &r).sqrt();
         if rnorm <= tol * norm_b {
-            return SolveInfo { iterations: iter, converged: true, residual: rnorm };
+            return SolveInfo {
+                iterations: iter,
+                converged: true,
+                residual: rnorm,
+            };
         }
         match m_inv {
             Some(m) => m.apply(&r, &mut z),
@@ -220,7 +266,11 @@ where
         }
     }
     let rnorm = dot(&r, &r).sqrt();
-    SolveInfo { iterations: max_iter, converged: rnorm <= tol * norm_b, residual: rnorm }
+    SolveInfo {
+        iterations: max_iter,
+        converged: rnorm <= tol * norm_b,
+        residual: rnorm,
+    }
 }
 
 #[cfg(test)]
@@ -260,7 +310,11 @@ mod tests {
     fn residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
         let mut r = vec![0.0; b.len()];
         a.matvec(x, &mut r);
-        r.iter().zip(b).map(|(ri, bi)| (ri - bi).powi(2)).sum::<f64>().sqrt()
+        r.iter()
+            .zip(b)
+            .map(|(ri, bi)| (ri - bi).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -299,7 +353,12 @@ mod tests {
         let mut x1 = vec![0.0; n];
         let pre = cg(&a, Some(&jacobi), &b, &mut x1, 1e-10, 2000, euclidean_dot);
         assert!(plain.converged && pre.converged);
-        assert!(pre.iterations < plain.iterations, "{} !< {}", pre.iterations, plain.iterations);
+        assert!(
+            pre.iterations < plain.iterations,
+            "{} !< {}",
+            pre.iterations,
+            plain.iterations
+        );
     }
 
     #[test]
@@ -309,7 +368,11 @@ mod tests {
         let mut x = vec![0.0; 60];
         let info = minres(&a, None::<&Csr>, &b, &mut x, 1e-10, 1000, euclidean_dot);
         assert!(info.converged, "{info:?}");
-        assert!(residual(&a, &x, &b) < 1e-6, "res = {}", residual(&a, &x, &b));
+        assert!(
+            residual(&a, &x, &b) < 1e-6,
+            "res = {}",
+            residual(&a, &x, &b)
+        );
     }
 
     #[test]
@@ -319,7 +382,11 @@ mod tests {
         let mut x = vec![0.0; 40];
         let info = minres(&a, None::<&Csr>, &b, &mut x, 1e-12, 2000, euclidean_dot);
         assert!(info.converged, "{info:?}");
-        assert!(residual(&a, &x, &b) < 1e-8, "res = {}", residual(&a, &x, &b));
+        assert!(
+            residual(&a, &x, &b) < 1e-8,
+            "res = {}",
+            residual(&a, &x, &b)
+        );
     }
 
     #[test]
@@ -337,6 +404,31 @@ mod tests {
         let info = minres(&a, Some(&m), &b, &mut x, 1e-12, 2000, euclidean_dot);
         assert!(info.converged, "{info:?}");
         assert!(residual(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn observer_sees_monotone_iteration_numbers_and_final_residual() {
+        let a = laplace1d(60);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut x = vec![0.0; 60];
+        let mut history: Vec<(usize, f64)> = Vec::new();
+        let info = minres_observed(
+            &a,
+            None::<&Csr>,
+            &b,
+            &mut x,
+            1e-10,
+            1000,
+            euclidean_dot,
+            |it, r| history.push((it, r)),
+        );
+        assert!(info.converged);
+        assert_eq!(history.len(), info.iterations);
+        for (k, &(it, r)) in history.iter().enumerate() {
+            assert_eq!(it, k + 1, "iterations reported in order");
+            assert!(r.is_finite() && r >= 0.0);
+        }
+        assert_eq!(history.last().unwrap().1, info.residual);
     }
 
     #[test]
@@ -359,6 +451,9 @@ mod tests {
         cg(&a, None::<&Csr>, &b, &mut x, 1e-12, 500, euclidean_dot);
         let mut y = x.clone();
         let info = minres(&a, None::<&Csr>, &b, &mut y, 1e-8, 100, euclidean_dot);
-        assert!(info.iterations <= 2, "warm start should converge immediately");
+        assert!(
+            info.iterations <= 2,
+            "warm start should converge immediately"
+        );
     }
 }

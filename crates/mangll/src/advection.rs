@@ -17,8 +17,6 @@
 //!   (Carpenter–Kennedy), as in the paper;
 //! * parallel ghost-element data exchange per RK stage.
 
-
-
 use forest::{Forest, ForestLeaf};
 use octree::{Octant, ROOT_LEN};
 
@@ -52,7 +50,11 @@ pub struct DgParams {
 
 impl Default for DgParams {
     fn default() -> Self {
-        DgParams { order: 2, cfl: 0.3, inflow_value: 0.0 }
+        DgParams {
+            order: 2,
+            cfl: 0.3,
+            inflow_value: 0.0,
+        }
     }
 }
 
@@ -177,7 +179,9 @@ impl<'f, 'c> DgAdvection<'f, 'c> {
         for (idx, l) in f.local.iter().enumerate() {
             let mut sent: Vec<usize> = Vec::new();
             for (dx, dy, dz) in Octant::neighbor_directions() {
-                let Some(n) = f.neighbor(l, dx, dy, dz) else { continue };
+                let Some(n) = f.neighbor(l, dx, dy, dz) else {
+                    continue;
+                };
                 let (rlo, rhi) = f.owner_range(&n);
                 for r in rlo..=rhi.min(p - 1) {
                     if r != me && !sent.contains(&r) {
@@ -203,7 +207,7 @@ impl<'f, 'c> DgAdvection<'f, 'c> {
                 ghosts.push((src, l));
             }
         }
-        ghosts.sort_by(|a, b| a.1.cmp(&b.1));
+        ghosts.sort_by_key(|a| a.1);
         self.ghosts = ghosts;
         self.ghost_data = vec![0.0; self.ed.n3() * self.ghosts.len()];
         self.send_elems = send;
@@ -318,17 +322,23 @@ impl<'f, 'c> DgAdvection<'f, 'c> {
         let mut tree = leaf.tree;
         if p2[axis] < 0.0 || p2[axis] >= lim {
             // Crossing a tree face (or the domain boundary).
-            let t = self.forest.connectivity().neighbor_across(tree, face as u8)?;
+            let t = self
+                .forest
+                .connectivity()
+                .neighbor_across(tree, face as u8)?;
             p2 = t.apply_point(p2);
             tree = t.tree;
         }
         // Locate the containing leaf via a MAX_LEVEL probe.
-        let clampi = |v: f64| -> u32 {
-            (v / 2.0).floor().clamp(0.0, (ROOT_LEN - 1) as f64) as u32
-        };
+        let clampi = |v: f64| -> u32 { (v / 2.0).floor().clamp(0.0, (ROOT_LEN - 1) as f64) as u32 };
         let probe = ForestLeaf {
             tree,
-            oct: Octant::new(clampi(p2[0]), clampi(p2[1]), clampi(p2[2]), octree::MAX_LEVEL),
+            oct: Octant::new(
+                clampi(p2[0]),
+                clampi(p2[1]),
+                clampi(p2[2]),
+                octree::MAX_LEVEL,
+            ),
         };
         let found = self.find_leaf(&probe)?;
         // Reference coords within the found leaf.
@@ -475,8 +485,8 @@ impl<'f, 'c> DgAdvection<'f, 'c> {
             for kk in 0..n {
                 for jj in 0..n {
                     for ii in 0..n {
-                        local += jac * w[ii] * w[jj] * w[kk]
-                            * self.u[e * n3 + ii + n * (jj + n * kk)];
+                        local +=
+                            jac * w[ii] * w[jj] * w[kk] * self.u[e * n3 + ii + n * (jj + n * kk)];
                     }
                 }
             }
@@ -529,15 +539,12 @@ impl<'f, 'c> DgAdvection<'f, 'c> {
         let n3 = self.ed.n3();
         for (e, leaf) in new_forest.local.iter().enumerate() {
             // Find the old local element covering this new element.
-            let old_e = self
-                .forest
-                .find_containing(leaf)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "new element {leaf:?} not covered by the old local forest — \
+            let old_e = self.forest.find_containing(leaf).unwrap_or_else(|| {
+                panic!(
+                    "new element {leaf:?} not covered by the old local forest — \
                          resample before repartitioning"
-                    )
-                });
+                )
+            });
             let old_leaf = &self.forest.local[old_e];
             // New node positions in the old element's reference coords.
             let nl = self.ed.lgl.n();
@@ -554,12 +561,9 @@ impl<'f, 'c> DgAdvection<'f, 'c> {
                             2.0 * leaf.oct.z as f64 + len * (self.ed.lgl.nodes[k] + 1.0),
                         ];
                         let xi = [
-                            ((p2[0] - 2.0 * old_leaf.oct.x as f64) / olen - 1.0)
-                                .clamp(-1.0, 1.0),
-                            ((p2[1] - 2.0 * old_leaf.oct.y as f64) / olen - 1.0)
-                                .clamp(-1.0, 1.0),
-                            ((p2[2] - 2.0 * old_leaf.oct.z as f64) / olen - 1.0)
-                                .clamp(-1.0, 1.0),
+                            ((p2[0] - 2.0 * old_leaf.oct.x as f64) / olen - 1.0).clamp(-1.0, 1.0),
+                            ((p2[1] - 2.0 * old_leaf.oct.y as f64) / olen - 1.0).clamp(-1.0, 1.0),
+                            ((p2[2] - 2.0 * old_leaf.oct.z as f64) / olen - 1.0).clamp(-1.0, 1.0),
                         ];
                         new.u[e * n3 + node] = self.eval_at(Ok(old_e), xi);
                     }
@@ -595,7 +599,11 @@ mod tests {
             let f = Forest::new_uniform(c, conn.clone(), 1);
             let mut dg = DgAdvection::new(
                 &f,
-                DgParams { order: 3, cfl: 0.3, inflow_value: 1.0 },
+                DgParams {
+                    order: 3,
+                    cfl: 0.3,
+                    inflow_value: 1.0,
+                },
                 |_| 1.0,
                 |_| [0.7, -0.4, 0.2],
             );
@@ -626,14 +634,16 @@ mod tests {
                     let _ = f.refine(|_| false);
                     let width = 0.005;
                     let init = move |q: [f64; 3]| {
-                        let r2 = (q[0] - 0.3).powi(2)
-                            + (q[1] - 0.5).powi(2)
-                            + (q[2] - 0.5).powi(2);
+                        let r2 = (q[0] - 0.3).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                         (-r2 / width).exp()
                     };
                     let mut dg = DgAdvection::new(
                         &f,
-                        DgParams { order: p, cfl: 0.2, ..Default::default() },
+                        DgParams {
+                            order: p,
+                            cfl: 0.2,
+                            ..Default::default()
+                        },
                         init,
                         |_| [1.0, 0.0, 0.0],
                     );
@@ -645,9 +655,8 @@ mod tests {
                         dg.step(dt);
                     }
                     dg.max_error(move |q| {
-                        let r2 = (q[0] - 0.55).powi(2)
-                            + (q[1] - 0.5).powi(2)
-                            + (q[2] - 0.5).powi(2);
+                        let r2 =
+                            (q[0] - 0.55).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                         (-r2 / width).exp()
                     })
                 });
@@ -672,13 +681,16 @@ mod tests {
             f.partition();
             let width = 0.02;
             let init = move |q: [f64; 3]| {
-                let r2 =
-                    (q[0] - 0.35).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
+                let r2 = (q[0] - 0.35).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                 (-r2 / width).exp()
             };
             let mut dg = DgAdvection::new(
                 &f,
-                DgParams { order: 3, cfl: 0.2, ..Default::default() },
+                DgParams {
+                    order: 3,
+                    cfl: 0.2,
+                    ..Default::default()
+                },
                 init,
                 |_| [1.0, 0.0, 0.0],
             );
@@ -693,8 +705,7 @@ mod tests {
             // Front crossed into the refined half; mass approximately
             // conserved (interpolation mortar: small defect tolerated).
             let err = dg.max_error(move |q| {
-                let r2 =
-                    (q[0] - 0.65).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
+                let r2 = (q[0] - 0.65).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                 (-r2 / width).exp()
             });
             assert!(err < 0.12, "interface transport error {err}");
@@ -706,7 +717,6 @@ mod tests {
         });
     }
 
-
     /// Adaptive DG: refine mid-run under the front and keep advecting —
     /// the Fig. 12 usage pattern (adapt every k steps).
     #[test]
@@ -716,14 +726,17 @@ mod tests {
             let f0 = Forest::new_uniform(c, conn.clone(), 2);
             let width = 0.02;
             let init = move |q: [f64; 3]| {
-                let r2 =
-                    (q[0] - 0.35).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
+                let r2 = (q[0] - 0.35).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                 (-r2 / width).exp()
             };
             let vel = |_: [f64; 3]| [1.0f64, 0.0, 0.0];
             let mut dg = DgAdvection::new(
                 &f0,
-                DgParams { order: 3, cfl: 0.2, ..Default::default() },
+                DgParams {
+                    order: 3,
+                    cfl: 0.2,
+                    ..Default::default()
+                },
                 init,
                 vel,
             );
@@ -751,9 +764,8 @@ mod tests {
                 dg2.step(0.2 / nsteps as f64);
             }
             let err = dg2.max_error(move |q| {
-                let r2 = (q[0] - 0.35 - t_total).powi(2)
-                    + (q[1] - 0.5).powi(2)
-                    + (q[2] - 0.5).powi(2);
+                let r2 =
+                    (q[0] - 0.35 - t_total).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                 (-r2 / width).exp()
             });
             assert!(err < 0.15, "adaptive transport error {err}");
@@ -769,13 +781,16 @@ mod tests {
             let f = Forest::new_uniform(c, conn.clone(), 2);
             let width = 0.01;
             let init = move |q: [f64; 3]| {
-                let r2 =
-                    (q[0] - 0.7).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
+                let r2 = (q[0] - 0.7).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                 (-r2 / width).exp()
             };
             let mut dg = DgAdvection::new(
                 &f,
-                DgParams { order: 3, cfl: 0.2, ..Default::default() },
+                DgParams {
+                    order: 3,
+                    cfl: 0.2,
+                    ..Default::default()
+                },
                 init,
                 |_| [1.0, 0.0, 0.0],
             );
@@ -787,8 +802,7 @@ mod tests {
                 dg.step(dt);
             }
             let err = dg.max_error(move |q| {
-                let r2 =
-                    (q[0] - 1.3).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
+                let r2 = (q[0] - 1.3).powi(2) + (q[1] - 0.5).powi(2) + (q[2] - 0.5).powi(2);
                 (-r2 / width).exp()
             });
             assert!(err < 0.2, "cross-tree transport error {err}");
@@ -810,10 +824,19 @@ mod tests {
                 (-d2 / 0.05).exp()
             };
             let omega = 1.0;
-            let mut dg = DgAdvection::new(&f, DgParams { order: 2, cfl: 0.2, ..Default::default() }, init, move |q| {
-                // Solid-body rotation about z.
-                [-omega * q[1], omega * q[0], 0.0]
-            });
+            let mut dg = DgAdvection::new(
+                &f,
+                DgParams {
+                    order: 2,
+                    cfl: 0.2,
+                    ..Default::default()
+                },
+                init,
+                move |q| {
+                    // Solid-body rotation about z.
+                    [-omega * q[1], omega * q[0], 0.0]
+                },
+            );
             let m0 = dg.total_mass();
             let dt = dg.stable_dt();
             for _ in 0..30 {

@@ -160,13 +160,7 @@ impl ElementDerivative {
     }
 
     /// Apply with the chosen kernel.
-    pub fn apply_batch(
-        &self,
-        kernel: DerivativeKernel,
-        u: &[f64],
-        out: &mut [f64],
-        nelem: usize,
-    ) {
+    pub fn apply_batch(&self, kernel: DerivativeKernel, u: &[f64], out: &mut [f64], nelem: usize) {
         match kernel {
             DerivativeKernel::MatrixBased => self.apply_matrix_batch(u, out, nelem),
             DerivativeKernel::TensorProduct => self.apply_tensor_batch(u, out, nelem),
@@ -201,7 +195,12 @@ mod tests {
             ed.apply_matrix_batch(&u, &mut a, nelem);
             ed.apply_tensor_batch(&u, &mut b, nelem);
             for i in 0..a.len() {
-                assert!((a[i] - b[i]).abs() < 1e-10, "p={p} idx={i}: {} vs {}", a[i], b[i]);
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-10,
+                    "p={p} idx={i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
             }
         }
     }

@@ -41,10 +41,14 @@ fn legendre(n: usize, x: f64) -> (f64, f64) {
         let nf = n as f64;
         x.powi(n as i32 - 1) * nf * (nf + 1.0) / 2.0
     } else {
-        (n as f64) * (x * p0 - p1) / (1.0 - x * x) * -1.0
+        -((n as f64) * (x * p0 - p1) / (1.0 - x * x))
     };
     // dP_n/dx = n (P_{n-1} - x P_n) / (1 - x²)
-    let dp = if (x * x - 1.0).abs() < 1e-14 { dp } else { (n as f64) * (p0 - x * p1) / (1.0 - x * x) };
+    let dp = if (x * x - 1.0).abs() < 1e-14 {
+        dp
+    } else {
+        (n as f64) * (p0 - x * p1) / (1.0 - x * x)
+    };
     (p1, dp)
 }
 
@@ -83,8 +87,7 @@ fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
     let mut w = vec![0.0; n];
     for i in 0..n {
         // Chebyshev initial guess, Newton on P_n.
-        let mut xi =
-            -(std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut xi = -(std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
         for _ in 0..60 {
             let (p, dp) = legendre(n, xi);
             let step = p / dp;
@@ -249,7 +252,16 @@ impl Lgl {
                 project_hi[i * n + j] = shi[i];
             }
         }
-        Lgl { order: p, nodes, weights, diff, interp_lo, interp_hi, project_lo, project_hi }
+        Lgl {
+            order: p,
+            nodes,
+            weights,
+            diff,
+            interp_lo,
+            interp_hi,
+            project_lo,
+            project_hi,
+        }
     }
 
     /// Number of 1D nodes.
@@ -290,11 +302,12 @@ mod tests {
                     .zip(&l.weights)
                     .map(|(&x, &w)| w * x.powi(deg as i32))
                     .sum();
-                let exact = if deg % 2 == 0 { 2.0 / (deg as f64 + 1.0) } else { 0.0 };
-                assert!(
-                    (q - exact).abs() < 1e-11,
-                    "p={p} deg={deg}: {q} vs {exact}"
-                );
+                let exact = if deg % 2 == 0 {
+                    2.0 / (deg as f64 + 1.0)
+                } else {
+                    0.0
+                };
+                assert!((q - exact).abs() < 1e-11, "p={p} deg={deg}: {q} vs {exact}");
             }
         }
     }
@@ -315,7 +328,10 @@ mod tests {
                     } else {
                         k as f64 * l.nodes[i].powi(k as i32 - 1)
                     };
-                    assert!((d - exact).abs() < 1e-9, "p={p} k={k} i={i}: {d} vs {exact}");
+                    assert!(
+                        (d - exact).abs() < 1e-9,
+                        "p={p} k={k} i={i}: {d} vs {exact}"
+                    );
                 }
             }
         }

@@ -187,9 +187,7 @@ impl Mesh {
         for (c, &nref) in self.elem_nodes[e].iter().enumerate() {
             out[c] = match &self.node_table[nref as usize] {
                 NodeResolution::Dof(d) => v[*d],
-                NodeResolution::Constrained(terms) => {
-                    terms.iter().map(|&(d, w)| w * v[d]).sum()
-                }
+                NodeResolution::Constrained(terms) => terms.iter().map(|&(d, w)| w * v[d]).sum(),
             };
         }
         out
@@ -257,7 +255,10 @@ fn incident_probes(p: (u32, u32, u32)) -> Vec<Octant> {
 /// cell — computable on every rank from the partition markers alone.
 fn node_owner(tree: &DistOctree, p: (u32, u32, u32)) -> usize {
     let probes = incident_probes(p);
-    let smallest = probes.iter().min().expect("node has at least one incident cell");
+    let smallest = probes
+        .iter()
+        .min()
+        .expect("node has at least one incident cell");
     tree.owner_of(smallest)
 }
 
@@ -285,7 +286,7 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
     let ghosts = tree.ghost_layer();
     let mut view: Vec<(Octant, usize)> = tree.local.iter().map(|&o| (o, me)).collect();
     view.extend(ghosts.iter().map(|&(r, o)| (o, r)));
-    view.sort_by(|a, b| a.0.cmp(&b.0));
+    view.sort_by_key(|a| a.0);
     let view_octs: Vec<Octant> = view.iter().map(|v| v.0).collect();
 
     // ---- Collect local nodes (corners of local elements) ------------
@@ -351,8 +352,16 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
                 let mut terms = Vec::new();
                 for (ci2, &ck) in ckeys.iter().enumerate() {
                     let wx = if ci2 & 1 == 1 { r[0] } else { 1.0 - r[0] };
-                    let wy = if (ci2 >> 1) & 1 == 1 { r[1] } else { 1.0 - r[1] };
-                    let wz = if (ci2 >> 2) & 1 == 1 { r[2] } else { 1.0 - r[2] };
+                    let wy = if (ci2 >> 1) & 1 == 1 {
+                        r[1]
+                    } else {
+                        1.0 - r[1]
+                    };
+                    let wz = if (ci2 >> 2) & 1 == 1 {
+                        r[2]
+                    } else {
+                        1.0 - r[2]
+                    };
                     let w = wx * wy * wz;
                     if w > 0.0 {
                         let foreign = if owner == me { None } else { Some(owner) };
@@ -371,7 +380,10 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
             continue;
         }
         let step = classify(key).unwrap_or_else(|| {
-            panic!("incident cell of node {:?} missing from local+ghost view", node_coords(key))
+            panic!(
+                "incident cell of node {:?} missing from local+ghost view",
+                node_coords(key)
+            )
         });
         if let OneStep::Hanging(terms) = &step {
             for &(mk, _, foreign) in terms {
@@ -496,7 +508,10 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
             let terms = reply_map.get(&(owner, k)).expect("query must be answered");
             for t in terms {
                 if t.next_owner == u64::MAX {
-                    final_terms.get_mut(&local_key).unwrap().push((t.node, w * t.weight));
+                    final_terms
+                        .get_mut(&local_key)
+                        .unwrap()
+                        .push((t.node, w * t.weight));
                 } else {
                     next_pending.push((local_key, t.next_owner as usize, t.node, w * t.weight));
                 }
@@ -534,8 +549,11 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
     let n_owned = owned_keys.len();
     let global_offset = comm.exscan_sum(n_owned as u64);
     let n_global = comm.allreduce_sum(&[n_owned as u64])[0];
-    let owned_index: HashMap<NodeKey, usize> =
-        owned_keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let owned_index: HashMap<NodeKey, usize> = owned_keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
 
     // ---- Foreign gid lookup + exchange pattern -----------------------
     // Foreign independent keys referenced by my expansions.
@@ -656,7 +674,10 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
         n_global,
         ghost_gids,
         dof_keys,
-        exchange: ExchangePattern { send_idx, recv_counts },
+        exchange: ExchangePattern {
+            send_idx,
+            recv_counts,
+        },
     }
 }
 
@@ -735,8 +756,11 @@ mod tests {
                     n_hanging += 1;
                     let s: f64 = terms.iter().map(|t| t.1).sum();
                     assert!((s - 1.0).abs() < 1e-12, "weights sum to {s}");
-                    assert!(terms.len() == 2 || terms.len() == 4,
-                        "face/edge hanging nodes have 2 or 4 masters, got {}", terms.len());
+                    assert!(
+                        terms.len() == 2 || terms.len() == 4,
+                        "face/edge hanging nodes have 2 or 4 masters, got {}",
+                        terms.len()
+                    );
                 }
             }
             let total = c.allreduce_sum(&[n_hanging as u64])[0];
@@ -770,11 +794,7 @@ mod tests {
                 for (i, &k) in keys.iter().enumerate() {
                     let (x, y, z) = node_coords(k);
                     let s = ROOT_LEN as f64;
-                    let pc = [
-                        x as f64 / s * 2.0,
-                        y as f64 / s * 1.0,
-                        z as f64 / s * 1.0,
-                    ];
+                    let pc = [x as f64 / s * 2.0, y as f64 / s * 1.0, z as f64 / s * 1.0];
                     assert!(
                         (vals[i] - f(pc)).abs() < 1e-10,
                         "corner {i} of elem {e}: {} vs {}",

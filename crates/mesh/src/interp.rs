@@ -130,17 +130,17 @@ mod tests {
                 let p = old_mesh.dof_coords(d);
                 v[d] = (p[0] * 7.0).sin() + p[1] * p[2];
             }
-            let old_coords: Vec<[f64; 3]> =
-                (0..old_mesh.n_owned).map(|d| old_mesh.dof_coords(d)).collect();
+            let old_coords: Vec<[f64; 3]> = (0..old_mesh.n_owned)
+                .map(|d| old_mesh.dof_coords(d))
+                .collect();
             t.refine(|_| true);
             let new_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
             let w = interpolate_node_field(&old_mesh, &v, &new_mesh);
             for d in 0..new_mesh.n_owned {
                 let p = new_mesh.dof_coords(d);
-                if let Some(j) = old_coords
-                    .iter()
-                    .position(|q| (q[0] - p[0]).abs() + (q[1] - p[1]).abs() + (q[2] - p[2]).abs() < 1e-14)
-                {
+                if let Some(j) = old_coords.iter().position(|q| {
+                    (q[0] - p[0]).abs() + (q[1] - p[1]).abs() + (q[2] - p[2]).abs() < 1e-14
+                }) {
                     assert!((w[d] - v[j]).abs() < 1e-13, "old node value changed");
                 }
             }

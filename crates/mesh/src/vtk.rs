@@ -11,11 +11,7 @@ use std::io::Write;
 
 /// Write this rank's portion of the mesh and the given nodal fields
 /// (owned+ghost layout, ghosts current) as legacy VTK unstructured grid.
-pub fn write_vtk(
-    mesh: &Mesh,
-    fields: &[(&str, &[f64])],
-    path: &str,
-) -> std::io::Result<()> {
+pub fn write_vtk(mesh: &Mesh, fields: &[(&str, &[f64])], path: &str) -> std::io::Result<()> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
     let ne = mesh.elements.len();
     writeln!(out, "# vtk DataFile Version 3.0")?;
@@ -138,7 +134,7 @@ mod tests {
             let content = std::fs::read_to_string(path).unwrap();
             // Parse points and values back and verify linearity.
             let mut lines = content.lines();
-            while let Some(l) = lines.next() {
+            for l in lines.by_ref() {
                 if l.starts_with("POINTS") {
                     break;
                 }
@@ -147,8 +143,7 @@ mod tests {
             let pts: Vec<[f64; 3]> = (0..8 * ne)
                 .map(|_| {
                     let l = lines.next().unwrap();
-                    let v: Vec<f64> =
-                        l.split_whitespace().map(|t| t.parse().unwrap()).collect();
+                    let v: Vec<f64> = l.split_whitespace().map(|t| t.parse().unwrap()).collect();
                     [v[0], v[1], v[2]]
                 })
                 .collect();

@@ -1,0 +1,280 @@
+//! Exporters: Chrome-trace JSON, JSONL event log, and the run manifest.
+//!
+//! * **Chrome trace** — load `results/obs/<name>.trace.json` in
+//!   `chrome://tracing` (or Perfetto's legacy loader). Each simulated
+//!   rank is one track (`tid`), all under one process (`pid` 0).
+//! * **JSONL** — one JSON object per line, one line per span or instant
+//!   event, for ad-hoc `grep`/scripting.
+//! * **Manifest** — one machine-readable JSON per run with the merged
+//!   cross-rank summary, per-rank summaries, and harness-provided extras;
+//!   the bench harnesses and any future `BENCH_*.json` trajectory consume
+//!   this.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::{ToJson, Value};
+use crate::rec::RankProfile;
+use crate::summary::{Reduce, Summary};
+
+/// Build the Chrome-trace JSON document for a set of rank profiles.
+///
+/// Uses the JSON-object form (`{"traceEvents": [...]}`) with complete
+/// ("X") events for spans, instant ("i") events, and thread-name metadata
+/// so each rank's track is labeled.
+pub fn chrome_trace(profiles: &[RankProfile]) -> Value {
+    let mut events = Vec::new();
+    for p in profiles {
+        events.push(Value::object([
+            ("name", Value::from("thread_name")),
+            ("ph", Value::from("M")),
+            ("pid", Value::from(0u64)),
+            ("tid", Value::from(p.rank)),
+            (
+                "args",
+                Value::object([("name", Value::from(format!("rank {}", p.rank)))]),
+            ),
+        ]));
+        for s in &p.spans {
+            events.push(Value::object([
+                ("name", Value::from(s.name.as_str())),
+                ("cat", Value::from(s.cat.as_str())),
+                ("ph", Value::from("X")),
+                ("ts", Value::from(s.start_ns as f64 / 1e3)), // µs
+                ("dur", Value::from(s.dur_ns as f64 / 1e3)),
+                ("pid", Value::from(0u64)),
+                ("tid", Value::from(p.rank)),
+            ]));
+        }
+        for e in &p.instants {
+            events.push(Value::object([
+                ("name", Value::from(e.name.as_str())),
+                ("cat", Value::from("instant")),
+                ("ph", Value::from("i")),
+                ("ts", Value::from(e.ts_ns as f64 / 1e3)),
+                ("s", Value::from("t")), // thread-scoped
+                ("pid", Value::from(0u64)),
+                ("tid", Value::from(p.rank)),
+                ("args", e.args.clone()),
+            ]));
+        }
+    }
+    Value::object([
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::from("ms")),
+    ])
+}
+
+/// One JSON object per event, newline-delimited.
+pub fn jsonl_events(profiles: &[RankProfile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        for s in &p.spans {
+            let v = Value::object([
+                ("kind", Value::from("span")),
+                ("rank", Value::from(p.rank)),
+                ("name", Value::from(s.name.as_str())),
+                ("cat", Value::from(s.cat.as_str())),
+                ("start_ns", Value::from(s.start_ns)),
+                ("dur_ns", Value::from(s.dur_ns)),
+                ("depth", Value::from(s.depth as u64)),
+            ]);
+            out.push_str(&v.to_json());
+            out.push('\n');
+        }
+        for e in &p.instants {
+            let v = Value::object([
+                ("kind", Value::from("instant")),
+                ("rank", Value::from(p.rank)),
+                ("name", Value::from(e.name.as_str())),
+                ("ts_ns", Value::from(e.ts_ns)),
+                ("args", e.args.clone()),
+            ]);
+            out.push_str(&v.to_json());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Build the run-manifest JSON for a named run.
+pub fn run_manifest(name: &str, profiles: &[RankProfile], extra: Value) -> Value {
+    let merged = Summary::reduce_all(profiles.iter().map(|p| &p.summary));
+    let per_rank: Vec<Value> = profiles
+        .iter()
+        .map(|p| {
+            Value::object([
+                ("rank", Value::from(p.rank)),
+                ("summary", p.summary.to_json_value()),
+                (
+                    "series",
+                    Value::object(p.series.iter().map(|(k, vs)| {
+                        (
+                            k.clone(),
+                            Value::Arr(vs.iter().map(|&v| Value::from(v)).collect()),
+                        )
+                    })),
+                ),
+            ])
+        })
+        .collect();
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    Value::object([
+        ("schema", Value::from("obs.run.v1")),
+        ("name", Value::from(name)),
+        ("created_unix", Value::from(created_unix)),
+        ("nranks", Value::from(profiles.len())),
+        ("merged", merged.to_json_value()),
+        ("per_rank", Value::Arr(per_rank)),
+        ("extra", extra),
+    ])
+}
+
+/// Paths written by [`ObsSession::write`].
+#[derive(Debug, Clone)]
+pub struct WrittenRun {
+    pub manifest: PathBuf,
+    pub trace: PathBuf,
+    pub events: PathBuf,
+}
+
+/// A named observability run bound to an output directory
+/// (`results/obs/` by default).
+pub struct ObsSession {
+    name: String,
+    out_dir: PathBuf,
+}
+
+impl ObsSession {
+    /// A run writing under the repository's canonical `results/obs/`.
+    pub fn new(name: impl Into<String>) -> ObsSession {
+        ObsSession {
+            name: name.into(),
+            out_dir: PathBuf::from("results/obs"),
+        }
+    }
+
+    /// A run writing under an explicit directory (tests use a temp dir).
+    pub fn with_dir(name: impl Into<String>, dir: impl AsRef<Path>) -> ObsSession {
+        ObsSession {
+            name: name.into(),
+            out_dir: dir.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Write manifest + Chrome trace + JSONL event log for the profiles.
+    pub fn write(&self, profiles: &[RankProfile], extra: Value) -> io::Result<WrittenRun> {
+        fs::create_dir_all(&self.out_dir)?;
+        let manifest = self.out_dir.join(format!("{}.json", self.name));
+        let trace = self.out_dir.join(format!("{}.trace.json", self.name));
+        let events = self.out_dir.join(format!("{}.events.jsonl", self.name));
+        fs::write(
+            &manifest,
+            run_manifest(&self.name, profiles, extra).to_json(),
+        )?;
+        fs::write(&trace, chrome_trace(profiles).to_json())?;
+        fs::write(&events, jsonl_events(profiles))?;
+        Ok(WrittenRun {
+            manifest,
+            trace,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::rec::Recorder;
+
+    fn two_rank_profiles() -> Vec<RankProfile> {
+        (0..2)
+            .map(|rank| {
+                let rec = Recorder::new_manual_clock(rank);
+                let g = rec.span_cat("BalanceTree", "amr");
+                rec.advance_clock(1_000 + rank as u64 * 500);
+                {
+                    let _c = rec.span_cat("comm:allreduce", "comm");
+                    rec.advance_clock(100);
+                }
+                drop(g);
+                rec.record_value("comm.bytes", 64 * (rank as u64 + 1));
+                rec.instant(
+                    "mark",
+                    json::Value::object([("n", json::Value::from(7u64))]),
+                );
+                rec.profile()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_has_one_track_per_rank() {
+        let profiles = two_rank_profiles();
+        let doc = chrome_trace(&profiles);
+        let text = doc.to_json();
+        let reparsed = json::parse(&text).expect("exporter emits valid JSON");
+        assert_eq!(reparsed, doc, "round-trip through the parser");
+        let events = reparsed.get("traceEvents").unwrap().as_array().unwrap();
+        // Distinct tids must match the rank set.
+        let mut tids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+            .collect();
+        tids.sort();
+        tids.dedup();
+        assert_eq!(tids, vec![0, 1]);
+        // Spans carry microsecond ts/dur.
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert!(span.get("dur").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let profiles = two_rank_profiles();
+        let text = jsonl_events(&profiles);
+        let mut lines = 0;
+        for line in text.lines() {
+            json::parse(line).expect("every JSONL line is a JSON object");
+            lines += 1;
+        }
+        assert_eq!(lines, 4 + 2); // 2 spans + 1 instant per rank
+    }
+
+    #[test]
+    fn manifest_merges_ranks() {
+        let profiles = two_rank_profiles();
+        let m = run_manifest("unit", &profiles, Value::Null);
+        assert_eq!(m.get("nranks").unwrap().as_u64(), Some(2));
+        let merged = m.get("merged").unwrap();
+        let bt = merged.get("phases").unwrap().get("BalanceTree").unwrap();
+        assert_eq!(bt.get("count").unwrap().as_u64(), Some(2));
+        let hist = merged.get("histograms").unwrap().get("comm.bytes").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(2));
+        // Valid JSON end-to-end.
+        json::parse(&m.to_json()).unwrap();
+    }
+
+    #[test]
+    fn session_writes_three_files() {
+        let dir = std::env::temp_dir().join(format!("obs-test-{}", std::process::id()));
+        let session = ObsSession::with_dir("unit_run", &dir);
+        let written = session
+            .write(&two_rank_profiles(), Value::Obj(vec![]))
+            .unwrap();
+        for p in [&written.manifest, &written.trace, &written.events] {
+            assert!(p.exists(), "{p:?} must exist");
+        }
+        let manifest = std::fs::read_to_string(&written.manifest).unwrap();
+        json::parse(&manifest).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,153 @@
+//! Counters and log-scale histograms.
+
+use crate::json::{ToJson, Value};
+
+/// A base-2 log-scale histogram of `u64` samples (message sizes, iteration
+/// counts, per-step element deltas, …).
+///
+/// Bucket `0` holds the value `0`; bucket `b ≥ 1` holds values in
+/// `[2^(b−1), 2^b)`. Merging histograms is associative and commutative,
+/// so per-rank histograms can be reduced across a world in any order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[b]` = number of samples in bucket `b` (see type docs).
+    pub buckets: [u64; 65],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of a bucket.
+    pub fn bucket_range(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (b - 1), if b == 64 { u64::MAX } else { 1u64 << b })
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another histogram into this one (associative, commutative).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl ToJson for LogHistogram {
+    fn to_json_value(&self) -> Value {
+        let sparse: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| Value::array([Value::from(b), Value::from(c)]))
+            .collect();
+        Value::object([
+            ("count", Value::from(self.count)),
+            ("sum", Value::from(self.sum)),
+            (
+                "min",
+                Value::from(if self.count == 0 { 0 } else { self.min }),
+            ),
+            ("max", Value::from(self.max)),
+            ("mean", Value::from(self.mean())),
+            ("buckets", Value::Arr(sparse)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        for b in 0..=64usize {
+            let (lo, hi) = LogHistogram::bucket_range(b);
+            assert_eq!(LogHistogram::bucket_of(lo), b);
+            assert_eq!(LogHistogram::bucket_of(hi - 1), b);
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = LogHistogram::new();
+        a.record(0);
+        a.record(5);
+        a.record(1024);
+        let mut b = LogHistogram::new();
+        b.record(7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.count, 4);
+        assert_eq!(ab.sum, 1036);
+        assert_eq!(ab.min, 0);
+        assert_eq!(ab.max, 1024);
+        assert_eq!(ab.buckets[3], 2); // 5 and 7 share [4, 8)
+    }
+
+    #[test]
+    fn empty_histogram_serializes_cleanly() {
+        let h = LogHistogram::new();
+        let j = h.to_json_value();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(j.get("min").unwrap().as_u64(), Some(0));
+    }
+}

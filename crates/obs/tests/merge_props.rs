@@ -1,0 +1,83 @@
+//! Property tests for the cross-rank merge: `Reduce` promises an
+//! associative, commutative monoid (the MPI-reduction contract), so a
+//! world's summaries can be combined tree-wise, pairwise, or in rank
+//! order with identical results. All three laws are checked over
+//! randomly generated per-rank summaries.
+
+use obs::{Reduce, Summary};
+use proptest::prelude::*;
+
+/// One random telemetry event: `sel` picks both the name and the kind
+/// (phase / counter / histogram sample); `a`, `b` are the magnitudes.
+type Op = (u8, u32, u32);
+
+const NAMES: [&str; 6] = [
+    "MINRES",
+    "AMGSolve",
+    "BalanceTree",
+    "TimeIntegration",
+    "comm:allreduce",
+    "comm.bytes",
+];
+
+/// Deterministically fold a list of generated events into a Summary,
+/// touching all three registries (phases, counters, histograms).
+fn build(ops: &[Op]) -> Summary {
+    let mut s = Summary::default();
+    for &(sel, a, b) in ops {
+        let name = NAMES[(sel % NAMES.len() as u8) as usize].to_string();
+        match sel % 3 {
+            0 => {
+                let ps = s.phases.entry(name).or_default();
+                if ps.cat.is_empty() {
+                    ps.cat = "t".to_string();
+                }
+                ps.count += 1;
+                let (incl, excl) = (a.max(b) as u64, a.min(b) as u64);
+                ps.incl_ns += incl;
+                ps.excl_ns += excl;
+            }
+            1 => *s.counters.entry(name).or_insert(0) += a as u64,
+            _ => s.hists.entry(name).or_default().record(a as u64),
+        }
+    }
+    s
+}
+
+fn merged(a: &Summary, b: &Summary) -> Summary {
+    let mut m = a.clone();
+    m.reduce(b);
+    m
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..=255, 0u32..=1_000_000, 0u32..=1_000_000), 0..24)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(x in ops(), y in ops()) {
+        let (a, b) = (build(&x), build(&y));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(x in ops(), y in ops(), z in ops()) {
+        let (a, b, c) = (build(&x), build(&y), build(&z));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn default_is_the_identity(x in ops()) {
+        let a = build(&x);
+        prop_assert_eq!(merged(&a, &Summary::default()), a.clone());
+        prop_assert_eq!(merged(&Summary::default(), &a), a);
+    }
+
+    #[test]
+    fn reduce_all_equals_left_fold(x in ops(), y in ops(), z in ops()) {
+        let parts = [build(&x), build(&y), build(&z)];
+        let folded = parts.iter().fold(Summary::default(), |acc, s| merged(&acc, s));
+        prop_assert_eq!(Summary::reduce_all(parts.iter()), folded);
+    }
+}

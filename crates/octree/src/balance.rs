@@ -50,7 +50,9 @@ fn violating_leaves(leaves: &[Octant], dirs: &[(i32, i32, i32)]) -> Vec<usize> {
     let mut mark = vec![false; leaves.len()];
     for o in leaves {
         for &(dx, dy, dz) in dirs {
-            let Some(n) = o.neighbor(dx, dy, dz) else { continue };
+            let Some(n) = o.neighbor(dx, dy, dz) else {
+                continue;
+            };
             if let Some(idx) = find_containing(leaves, &n) {
                 if leaves[idx].level + 1 < o.level {
                     mark[idx] = true;
@@ -100,7 +102,9 @@ pub fn is_balanced_kind(leaves: &[Octant], kind: BalanceKind) -> bool {
     let dirs = kind.directions();
     for o in leaves {
         for &(dx, dy, dz) in &dirs {
-            let Some(n) = o.neighbor(dx, dy, dz) else { continue };
+            let Some(n) = o.neighbor(dx, dy, dz) else {
+                continue;
+            };
             if let Some(idx) = find_containing(leaves, &n) {
                 if leaves[idx].level + 1 < o.level {
                     return false;
@@ -147,7 +151,12 @@ mod tests {
     /// planes, violating 2:1 for depth ≥ 3.
     fn center_spike(depth: u8) -> Vec<Octant> {
         use crate::morton::{MAX_LEVEL, ROOT_LEN};
-        let target = Octant::new(ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, MAX_LEVEL);
+        let target = Octant::new(
+            ROOT_LEN / 2 - 1,
+            ROOT_LEN / 2 - 1,
+            ROOT_LEN / 2 - 1,
+            MAX_LEVEL,
+        );
         let mut t = new_tree(1);
         for _ in 1..depth {
             refine(&mut t, |o| o.contains(&target));
@@ -205,7 +214,10 @@ mod tests {
         let mut b = a.clone();
         balance_local(&mut a);
         balance_local_naive(&mut b);
-        assert_eq!(a, b, "both balance algorithms must produce the minimal balanced refinement");
+        assert_eq!(
+            a, b,
+            "both balance algorithms must produce the minimal balanced refinement"
+        );
     }
 
     #[test]

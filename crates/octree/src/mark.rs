@@ -113,7 +113,13 @@ pub fn mark_elements(
     let mut theta = eta_max * 0.5;
     let mut best = (f64::INFINITY, theta);
     for _ in 0..params.max_iterations {
-        let (lref, lfam) = count_marks(leaves, indicators, theta, theta * params.coarsen_ratio, params);
+        let (lref, lfam) = count_marks(
+            leaves,
+            indicators,
+            theta,
+            theta * params.coarsen_ratio,
+            params,
+        );
         let sums = comm.allreduce_sum(&[lref, lfam]);
         let predicted = n_global as f64 + 7.0 * sums[0] as f64 - 7.0 * sums[1] as f64;
         let rel = (predicted - target).abs() / target;
@@ -188,7 +194,7 @@ mod tests {
     fn holds_count_near_target_serial() {
         let comm = spmd::self_comm();
         let leaves = new_tree(3); // 512
-        // Smooth indicator peaked at a corner.
+                                  // Smooth indicator peaked at a corner.
         let ind: Vec<f64> = leaves
             .iter()
             .map(|o| {
@@ -196,7 +202,11 @@ mod tests {
                 (-(c[0] * c[0] + c[1] * c[1] + c[2] * c[2]) * 8.0).exp()
             })
             .collect();
-        let params = MarkParams { target_elements: 1000, tolerance: 0.1, ..Default::default() };
+        let params = MarkParams {
+            target_elements: 1000,
+            tolerance: 0.1,
+            ..Default::default()
+        };
         let marks = mark_elements(&comm, &leaves, &ind, &params);
         let after = apply(&leaves, &marks);
         let n = after.len() as f64;
@@ -222,7 +232,11 @@ mod tests {
         let comm = spmd::self_comm();
         let leaves = new_tree(2);
         let ind = vec![0.0; leaves.len()];
-        let params = MarkParams { target_elements: 8, min_level: 1, ..Default::default() };
+        let params = MarkParams {
+            target_elements: 8,
+            min_level: 1,
+            ..Default::default()
+        };
         let marks = mark_elements(&comm, &leaves, &ind, &params);
         // Coarsen marks must come in aligned groups of 8.
         let mut i = 0;
@@ -249,7 +263,10 @@ mod tests {
             let n = all.len() / c.size();
             let mine = all[c.rank() * n..(c.rank() + 1) * n].to_vec();
             let ind: Vec<f64> = mine.iter().map(|o| o.center_unit()[0]).collect();
-            let params = MarkParams { target_elements: 800, ..Default::default() };
+            let params = MarkParams {
+                target_elements: 800,
+                ..Default::default()
+            };
             let marks = mark_elements(c, &mine, &ind, &params);
             let after = apply(&mine, &marks);
             after.len() as u64

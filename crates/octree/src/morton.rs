@@ -75,7 +75,12 @@ impl Octant {
     /// The root octant covering the whole domain.
     #[inline]
     pub const fn root() -> Octant {
-        Octant { x: 0, y: 0, z: 0, level: 0 }
+        Octant {
+            x: 0,
+            y: 0,
+            z: 0,
+            level: 0,
+        }
     }
 
     /// Construct an octant, checking lattice alignment in debug builds.
@@ -83,7 +88,7 @@ impl Octant {
     pub fn new(x: u32, y: u32, z: u32, level: u8) -> Octant {
         debug_assert!(level <= MAX_LEVEL);
         let len = 1u32 << (MAX_LEVEL - level);
-        debug_assert!(x % len == 0 && y % len == 0 && z % len == 0);
+        debug_assert!(x.is_multiple_of(len) && y.is_multiple_of(len) && z.is_multiple_of(len));
         debug_assert!(x < ROOT_LEN && y < ROOT_LEN && z < ROOT_LEN);
         Octant { x, y, z, level }
     }
@@ -169,14 +174,24 @@ impl Octant {
     /// First (Morton-smallest) descendant at `MAX_LEVEL`: shares the anchor.
     #[inline]
     pub fn first_descendant(&self) -> Octant {
-        Octant { x: self.x, y: self.y, z: self.z, level: MAX_LEVEL }
+        Octant {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+            level: MAX_LEVEL,
+        }
     }
 
     /// Last (Morton-largest) descendant at `MAX_LEVEL`.
     #[inline]
     pub fn last_descendant(&self) -> Octant {
         let off = self.len() - 1;
-        Octant { x: self.x + off, y: self.y + off, z: self.z + off, level: MAX_LEVEL }
+        Octant {
+            x: self.x + off,
+            y: self.y + off,
+            z: self.z + off,
+            level: MAX_LEVEL,
+        }
     }
 
     /// Same-size neighbor displaced by `(dx, dy, dz)` octant widths.
@@ -192,7 +207,12 @@ impl Octant {
         if nx < 0 || ny < 0 || nz < 0 || nx >= lim || ny >= lim || nz >= lim {
             return None;
         }
-        Some(Octant { x: nx as u32, y: ny as u32, z: nz as u32, level: self.level })
+        Some(Octant {
+            x: nx as u32,
+            y: ny as u32,
+            z: nz as u32,
+            level: self.level,
+        })
     }
 
     /// Iterate the 26 `(dx,dy,dz)` displacement triples of the full
@@ -246,7 +266,12 @@ impl Octant {
     pub fn from_uniform_index(level: u8, idx: u64) -> Octant {
         let (x, y, z) = morton_decode(idx);
         let shift = MAX_LEVEL - level;
-        Octant { x: x << shift, y: y << shift, z: z << shift, level }
+        Octant {
+            x: x << shift,
+            y: y << shift,
+            z: z << shift,
+            level,
+        }
     }
 }
 
@@ -274,7 +299,12 @@ mod tests {
 
     #[test]
     fn morton_roundtrip() {
-        for &(x, y, z) in &[(0, 0, 0), (1, 2, 3), (1023, 511, 255), (ROOT_LEN - 1, 0, ROOT_LEN - 1)] {
+        for &(x, y, z) in &[
+            (0, 0, 0),
+            (1, 2, 3),
+            (1023, 511, 255),
+            (ROOT_LEN - 1, 0, ROOT_LEN - 1),
+        ] {
             let k = morton_key(x, y, z);
             assert_eq!(morton_decode(k), (x, y, z));
         }
@@ -346,7 +376,9 @@ mod tests {
     #[test]
     fn uniform_index_is_morton_sorted() {
         let level = 2u8;
-        let octs: Vec<Octant> = (0..64).map(|i| Octant::from_uniform_index(level, i)).collect();
+        let octs: Vec<Octant> = (0..64)
+            .map(|i| Octant::from_uniform_index(level, i))
+            .collect();
         for w in octs.windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -366,6 +398,9 @@ mod tests {
         let a0 = leaf.ancestor_at(0);
         assert_eq!(a0, Octant::root());
         let a1 = leaf.ancestor_at(1);
-        assert_eq!((a1.x, a1.y, a1.z), (ROOT_LEN / 2, ROOT_LEN / 2, ROOT_LEN / 2));
+        assert_eq!(
+            (a1.x, a1.y, a1.z),
+            (ROOT_LEN / 2, ROOT_LEN / 2, ROOT_LEN / 2)
+        );
     }
 }

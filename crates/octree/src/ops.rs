@@ -14,7 +14,9 @@ use crate::morton::{Octant, MAX_LEVEL};
 pub fn new_tree(level: u8) -> Vec<Octant> {
     assert!(level <= MAX_LEVEL);
     let n = 1u64 << (3 * level as u64);
-    (0..n).map(|i| Octant::from_uniform_index(level, i)).collect()
+    (0..n)
+        .map(|i| Octant::from_uniform_index(level, i))
+        .collect()
 }
 
 /// Refine every leaf for which `should_refine` returns true, replacing it
@@ -43,11 +45,8 @@ pub fn refine<F: FnMut(&Octant) -> bool>(leaves: &mut Vec<Octant>, mut should_re
 /// removes all children of a common parent). Returns the number of
 /// families coarsened. `should_coarsen` is evaluated exactly once per leaf,
 /// in order.
-pub fn coarsen<F: FnMut(&Octant) -> bool>(
-    leaves: &mut Vec<Octant>,
-    mut should_coarsen: F,
-) -> usize {
-    let marks: Vec<bool> = leaves.iter().map(|o| should_coarsen(o)).collect();
+pub fn coarsen<F: FnMut(&Octant) -> bool>(leaves: &mut Vec<Octant>, should_coarsen: F) -> usize {
+    let marks: Vec<bool> = leaves.iter().map(should_coarsen).collect();
     coarsen_marked(leaves, &marks)
 }
 
@@ -63,8 +62,7 @@ pub fn coarsen_marked(leaves: &mut Vec<Octant>, marks: &[bool]) -> usize {
         // consecutive positions in Morton order.
         if o.level > 0 && o.child_id() == 0 && i + 8 <= leaves.len() {
             let parent = o.parent();
-            let family_ok = (0..8)
-                .all(|k| leaves[i + k] == parent.child(k as u8) && marks[i + k]);
+            let family_ok = (0..8).all(|k| leaves[i + k] == parent.child(k as u8) && marks[i + k]);
             if family_ok {
                 out.push(parent);
                 count += 1;
@@ -160,7 +158,9 @@ mod tests {
     #[test]
     fn refine_preserves_completeness_and_order() {
         let mut t = new_tree(2);
-        refine(&mut t, |o| (o.x ^ o.y ^ o.z) & 1 == 0 || o.center_unit()[0] < 0.5);
+        refine(&mut t, |o| {
+            (o.x ^ o.y ^ o.z) & 1 == 0 || o.center_unit()[0] < 0.5
+        });
         assert!(is_valid_linear(&t));
         assert!(is_complete(&t));
     }

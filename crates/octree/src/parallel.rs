@@ -50,9 +50,15 @@ impl<'c> DistOctree<'c> {
         let r = comm.rank() as u64;
         let lo = (n * r) / p;
         let hi = (n * (r + 1)) / p;
-        let local: Vec<Octant> =
-            (lo..hi).map(|i| Octant::from_uniform_index(level, i)).collect();
-        let mut tree = DistOctree { comm, local, markers: Vec::new(), counts: Vec::new() };
+        let local: Vec<Octant> = (lo..hi)
+            .map(|i| Octant::from_uniform_index(level, i))
+            .collect();
+        let mut tree = DistOctree {
+            comm,
+            local,
+            markers: Vec::new(),
+            counts: Vec::new(),
+        };
         tree.update_markers();
         tree
     }
@@ -60,7 +66,12 @@ impl<'c> DistOctree<'c> {
     /// Wrap already-distributed leaves (must be globally Morton-sorted and
     /// non-overlapping across ranks).
     pub fn from_local(comm: &'c Comm, local: Vec<Octant>) -> Self {
-        let mut tree = DistOctree { comm, local, markers: Vec::new(), counts: Vec::new() };
+        let mut tree = DistOctree {
+            comm,
+            local,
+            markers: Vec::new(),
+            counts: Vec::new(),
+        };
         tree.update_markers();
         tree
     }
@@ -188,7 +199,9 @@ impl<'c> DistOctree<'c> {
             let mut outgoing: Vec<Vec<(Octant, u64)>> = vec![Vec::new(); p];
             for o in &self.local {
                 for &(dx, dy, dz) in &dirs {
-                    let Some(n) = o.neighbor(dx, dy, dz) else { continue };
+                    let Some(n) = o.neighbor(dx, dy, dz) else {
+                        continue;
+                    };
                     let (rlo, rhi) = self.owner_range(&n);
                     for r in rlo..=rhi {
                         if r != self.comm.rank() {
@@ -265,7 +278,10 @@ impl<'c> DistOctree<'c> {
         }
         self.local = new_local;
         self.update_markers();
-        PartitionPlan { send_ranges, new_len: self.local.len() }
+        PartitionPlan {
+            send_ranges,
+            new_len: self.local.len(),
+        }
     }
 
     /// Build the ghost layer: the remote leaves face/edge/corner-adjacent
@@ -280,7 +296,9 @@ impl<'c> DistOctree<'c> {
             let mut sent_to = [usize::MAX; 32];
             let mut n_sent = 0;
             for (dx, dy, dz) in Octant::neighbor_directions() {
-                let Some(n) = o.neighbor(dx, dy, dz) else { continue };
+                let Some(n) = o.neighbor(dx, dy, dz) else {
+                    continue;
+                };
                 let (rlo, rhi) = self.owner_range(&n);
                 for r in rlo..=rhi.min(p - 1) {
                     if r != me && !sent_to[..n_sent].contains(&r) {
@@ -311,7 +329,7 @@ impl<'c> DistOctree<'c> {
                 }
             }
         }
-        ghosts.sort_by(|a, b| a.1.cmp(&b.1));
+        ghosts.sort_by_key(|a| a.1);
         ghosts.dedup();
         ghosts
     }
@@ -459,8 +477,12 @@ mod tests {
         // produce the same global tree as serial balance of the union.
         let locals = spmd::run(4, |c| {
             use crate::morton::{MAX_LEVEL, ROOT_LEN};
-            let target =
-                Octant::new(ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, ROOT_LEN / 2 - 1, MAX_LEVEL);
+            let target = Octant::new(
+                ROOT_LEN / 2 - 1,
+                ROOT_LEN / 2 - 1,
+                ROOT_LEN / 2 - 1,
+                MAX_LEVEL,
+            );
             let mut t = DistOctree::new_uniform(c, 1);
             for _ in 0..4 {
                 t.refine(|o| o.contains(&target));
@@ -510,9 +532,8 @@ mod tests {
                         let ol = o.len() as i64;
                         let (gx0, gy0, gz0) = (g.x as i64, g.y as i64, g.z as i64);
                         let gl = g.len() as i64;
-                        let overlap = |a0: i64, al: i64, b0: i64, bl: i64| {
-                            a0 <= b0 + bl && b0 <= a0 + al
-                        };
+                        let overlap =
+                            |a0: i64, al: i64, b0: i64, bl: i64| a0 <= b0 + bl && b0 <= a0 + al;
                         overlap(ox0, ol, gx0, gl)
                             && overlap(oy0, ol, gy0, gl)
                             && overlap(oz0, ol, gz0, gl)
@@ -535,7 +556,10 @@ mod tests {
                     (-((ctr[0] - 0.5).powi(2) + (ctr[1] - 0.5).powi(2)) * 20.0).exp()
                 })
                 .collect();
-            let params = MarkParams { target_elements: 900, ..Default::default() };
+            let params = MarkParams {
+                target_elements: 900,
+                ..Default::default()
+            };
             t.adapt_to_target(&ind, &params);
             assert!(t.validate());
             let n = t.global_count() as f64;

@@ -11,7 +11,6 @@
 //! paper's arrangement, where field data follows the Morton order of the
 //! elements.
 
-use crate::timers::{Phase, PhaseTimers};
 use mesh::extract::{extract_mesh, node_coords, Mesh, NodeResolution};
 use mesh::interp::interpolate_node_field;
 use octree::mark::MarkParams;
@@ -86,14 +85,20 @@ pub fn gradient_indicator(mesh: &Mesh, comm: &Comm, t_owned: &[f64]) -> Vec<f64>
 /// element count using `indicators`, rebalance, transfer the given nodal
 /// `fields`, repartition, and extract the new mesh. Returns the new mesh,
 /// the transferred fields, and the adaptation report. Collective.
+///
+/// Every pipeline stage is recorded as an `amr`-category span named after
+/// the paper's phase (`MarkElements`, `BalanceTree`, …) under one `AMR`
+/// umbrella span; [`crate::timers::PhaseTimers::from_summary`] recovers
+/// the classic per-phase seconds from the recorder's summary.
 pub fn adapt_mesh(
     tree: &mut DistOctree,
     old_mesh: &Mesh,
     fields: &[Vec<f64>],
     indicators: &[f64],
     params: &AdaptParams,
-    timers: &mut PhaseTimers,
+    rec: &obs::Recorder,
 ) -> (Mesh, Vec<Vec<f64>>, AdaptReport) {
+    let _amr = rec.span_cat("AMR", "amr");
     let comm = tree.comm();
     let domain = old_mesh.domain;
     let n_before = tree.global_count();
@@ -107,26 +112,34 @@ pub fn adapt_mesh(
         coarsen_ratio: params.coarsen_ratio,
         ..Default::default()
     };
-    let t_mark = std::time::Instant::now();
+    let t_mark = rec.now_ns();
     let (refined, coarsened) = tree.adapt_to_target(indicators, &mark_params);
-    let mark_secs = t_mark.elapsed().as_secs_f64();
+    let total_ns = rec.now_ns().saturating_sub(t_mark);
     // Attribute proportionally: marking is collective-heavy; refine and
-    // coarsen are the local splice passes.
-    timers.add(Phase::MarkElements, 0.6 * mark_secs);
-    timers.add(Phase::RefineTree, 0.2 * mark_secs);
-    timers.add(Phase::CoarsenTree, 0.2 * mark_secs);
+    // coarsen are the local splice passes. The three synthetic spans tile
+    // the measured interval sequentially on the trace timeline.
+    let mark_ns = (0.6 * total_ns as f64) as u64;
+    let refine_ns = (0.2 * total_ns as f64) as u64;
+    let coarsen_ns = total_ns - mark_ns - refine_ns;
+    rec.add_span_external("MarkElements", "amr", t_mark, mark_ns);
+    rec.add_span_external("RefineTree", "amr", t_mark + mark_ns, refine_ns);
+    rec.add_span_external(
+        "CoarsenTree",
+        "amr",
+        t_mark + mark_ns + refine_ns,
+        coarsen_ns,
+    );
 
     let n_adapted = tree.global_count();
 
     // BalanceTree.
-    let balance_added =
-        timers.time(Phase::BalanceTree, || tree.balance(BalanceKind::Full));
+    let balance_added = rec.with_cat("BalanceTree", "amr", || tree.balance(BalanceKind::Full));
 
     // Intermediate ExtractMesh (pre-partition) for interpolation.
-    let mid_mesh = timers.time(Phase::ExtractMesh, || extract_mesh(tree, domain));
+    let mid_mesh = rec.with_cat("ExtractMesh", "amr", || extract_mesh(tree, domain));
 
     // InterpolateFields onto the intermediate mesh.
-    let mut mid_fields: Vec<Vec<f64>> = timers.time(Phase::InterpolateFields, || {
+    let mut mid_fields: Vec<Vec<f64>> = rec.with_cat("InterpolateFields", "amr", || {
         fields
             .iter()
             .map(|f| {
@@ -140,7 +153,7 @@ pub fn adapt_mesh(
     });
 
     // Pack fields as element-corner data for the partition transfer.
-    let corner_data: Vec<Vec<f64>> = timers.time(Phase::InterpolateFields, || {
+    let corner_data: Vec<Vec<f64>> = rec.with_cat("InterpolateFields", "amr", || {
         mid_fields
             .iter_mut()
             .map(|f| {
@@ -155,10 +168,10 @@ pub fn adapt_mesh(
     });
 
     // PartitionTree.
-    let plan = timers.time(Phase::PartitionTree, || tree.partition());
+    let plan = rec.with_cat("PartitionTree", "amr", || tree.partition());
 
     // TransferFields: move the corner data with the elements.
-    let moved: Vec<Vec<f64>> = timers.time(Phase::TransferFields, || {
+    let moved: Vec<Vec<f64>> = rec.with_cat("TransferFields", "amr", || {
         corner_data
             .iter()
             .map(|d| transfer_fields(comm, &plan, d, 8))
@@ -166,11 +179,11 @@ pub fn adapt_mesh(
     });
 
     // Final ExtractMesh on the new partition.
-    let new_mesh = timers.time(Phase::ExtractMesh, || extract_mesh(tree, domain));
+    let new_mesh = rec.with_cat("ExtractMesh", "amr", || extract_mesh(tree, domain));
 
     // Unpack: every owned dof appears as the corner of some local
     // element; take its value from the first match.
-    let new_fields: Vec<Vec<f64>> = timers.time(Phase::TransferFields, || {
+    let new_fields: Vec<Vec<f64>> = rec.with_cat("TransferFields", "amr", || {
         moved
             .iter()
             .map(|data| {
@@ -211,6 +224,18 @@ pub fn adapt_mesh(
             comm.allreduce_sum(&local)
         },
     };
+    rec.instant(
+        "adapt",
+        obs::Value::object([
+            ("refined", obs::Value::from(report.refined)),
+            (
+                "coarsened_families",
+                obs::Value::from(report.coarsened_families),
+            ),
+            ("balance_added", obs::Value::from(report.balance_added)),
+            ("elements_after", obs::Value::from(report.elements_after)),
+        ]),
+    );
     let _ = n_adapted;
     (new_mesh, new_fields, report)
 }
@@ -237,10 +262,13 @@ mod tests {
                     (-(ctr[0] * ctr[0] + ctr[1] * ctr[1]) * 30.0).exp()
                 })
                 .collect();
-            let params = AdaptParams { target_elements: 700, ..Default::default() };
-            let mut timers = PhaseTimers::new();
+            let params = AdaptParams {
+                target_elements: 700,
+                ..Default::default()
+            };
+            let rec = obs::Recorder::new(c.rank());
             let (new_mesh, new_fields, report) =
-                adapt_mesh(&mut tree, &mesh, &[t], &ind, &params, &mut timers);
+                adapt_mesh(&mut tree, &mesh, &[t], &ind, &params, &rec);
             assert!(tree.validate());
             assert!(report.refined > 0, "{report:?}");
             assert!(report.elements_after > 0);
@@ -253,8 +281,22 @@ mod tests {
                     new_fields[0][d]
                 );
             }
-            // Timers populated.
-            assert!(timers.get(Phase::BalanceTree) >= 0.0);
+            // The recorder captured every pipeline phase, and the compat
+            // view recovers paper-style totals from it.
+            let summary = rec.summary();
+            for phase in [
+                "MarkElements",
+                "BalanceTree",
+                "PartitionTree",
+                "TransferFields",
+            ] {
+                assert!(summary.phases.contains_key(phase), "{phase} missing");
+            }
+            assert_eq!(
+                summary.phases["ExtractMesh"].count, 2,
+                "pre- and post-partition"
+            );
+            let timers = crate::timers::PhaseTimers::from_summary(&summary);
             assert!(timers.amr_total() > 0.0);
         });
     }
@@ -266,9 +308,12 @@ mod tests {
             let mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
             let t = vec![0.0; mesh.n_owned];
             let ind: Vec<f64> = mesh.elements.iter().map(|o| o.center_unit()[0]).collect();
-            let params = AdaptParams { target_elements: 150, ..Default::default() };
-            let mut timers = PhaseTimers::new();
-            let (_, _, report) = adapt_mesh(&mut tree, &mesh, &[t], &ind, &params, &mut timers);
+            let params = AdaptParams {
+                target_elements: 150,
+                ..Default::default()
+            };
+            let rec = obs::Recorder::new(c.rank());
+            let (_, _, report) = adapt_mesh(&mut tree, &mesh, &[t], &ind, &params, &rec);
             let total: u64 = report.level_histogram.iter().sum();
             assert_eq!(total, report.elements_after);
         });

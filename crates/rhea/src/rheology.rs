@@ -49,7 +49,10 @@ pub struct YieldingLaw {
 
 impl Default for YieldingLaw {
     fn default() -> Self {
-        YieldingLaw { yield_stress: 1.0, exponent: 6.9 }
+        YieldingLaw {
+            yield_stress: 1.0,
+            exponent: 6.9,
+        }
     }
 }
 
@@ -81,7 +84,10 @@ pub struct ArrheniusLaw {
 
 impl Default for ArrheniusLaw {
     fn default() -> Self {
-        ArrheniusLaw { prefactor: 1.0, exponent: 6.9 }
+        ArrheniusLaw {
+            prefactor: 1.0,
+            exponent: 6.9,
+        }
     }
 }
 
@@ -123,12 +129,18 @@ mod tests {
         let hot = law.eta(1.0, 0.5, 0.0);
         let ratio = cold / hot;
         assert!((ratio - (6.9f64).exp()).abs() / ratio < 1e-12);
-        assert!(ratio > 900.0 && ratio < 1100.0, "≈10³ variation, got {ratio}");
+        assert!(
+            ratio > 900.0 && ratio < 1100.0,
+            "≈10³ variation, got {ratio}"
+        );
     }
 
     #[test]
     fn yielding_caps_lithosphere_viscosity() {
-        let law = YieldingLaw { yield_stress: 0.1, exponent: 6.9 };
+        let law = YieldingLaw {
+            yield_stress: 0.1,
+            exponent: 6.9,
+        };
         // High strain rate: σ_y/(2ė) dominates.
         let eta = law.eta(0.0, 0.95, 10.0);
         assert!((eta - 0.1 / 20.0).abs() < 1e-12);
@@ -140,7 +152,10 @@ mod tests {
     #[test]
     fn full_range_covers_four_decades() {
         // Paper: "the viscosities range over four orders of magnitude".
-        let law = YieldingLaw { yield_stress: 0.02, exponent: 6.9 };
+        let law = YieldingLaw {
+            yield_stress: 0.02,
+            exponent: 6.9,
+        };
         let hi = law.eta(0.0, 0.5, 0.0); // 50, cold lower mantle
         let lo = law.eta(1.0, 0.95, 5.0); // yielded hot lithosphere
         assert!(hi / lo >= 1e4, "range {}", hi / lo);
@@ -148,7 +163,10 @@ mod tests {
 
     #[test]
     fn clamping_bounds_apply() {
-        let law = YieldingLaw { yield_stress: 1e-9, exponent: 6.9 };
+        let law = YieldingLaw {
+            yield_stress: 1e-9,
+            exponent: 6.9,
+        };
         let eta = law.eta_clamped(0.0, 0.95, 100.0);
         assert_eq!(eta, law.eta_min());
     }

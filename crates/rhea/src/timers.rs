@@ -4,6 +4,9 @@
 use std::time::Instant;
 
 /// The phases the paper reports.
+///
+/// Discriminants are the positions in [`Phase::ALL`] (the paper's
+/// Fig. 7/8 legend order); [`Phase::index`] relies on that.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     NewTree,
@@ -60,11 +63,14 @@ impl Phase {
 
     /// Is this one of the AMR phases (vs. numerical PDE phases)?
     pub fn is_amr(&self) -> bool {
-        !matches!(self, Phase::TimeIntegration | Phase::Minres | Phase::AmgSetup | Phase::AmgSolve)
+        !matches!(
+            self,
+            Phase::TimeIntegration | Phase::Minres | Phase::AmgSetup | Phase::AmgSolve
+        )
     }
 
     fn index(&self) -> usize {
-        Phase::ALL.iter().position(|p| p == self).unwrap()
+        *self as usize
     }
 }
 
@@ -77,6 +83,29 @@ pub struct PhaseTimers {
 impl PhaseTimers {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Compatibility view of an [`obs::Summary`]: the paper's thirteen
+    /// phases read from span inclusive times, so code (and figures)
+    /// written against `PhaseTimers` keeps working on top of the tracing
+    /// subsystem.
+    ///
+    /// One phase is derived rather than read directly: the `MINRES` span
+    /// wraps the `AMGSolve` (V-cycle) spans it triggers, while the paper's
+    /// breakdown reports MINRES *excluding* V-cycle time — so
+    /// `Phase::Minres = incl(MINRES) − incl(AMGSolve)`.
+    pub fn from_summary(s: &obs::Summary) -> Self {
+        let mut t = PhaseTimers::new();
+        for p in Phase::ALL {
+            let secs = match p {
+                Phase::Minres => (s.incl_seconds(Phase::Minres.label())
+                    - s.incl_seconds(Phase::AmgSolve.label()))
+                .max(0.0),
+                _ => s.incl_seconds(p.label()),
+            };
+            t.add(p, secs);
+        }
+        t
     }
 
     /// Time a closure under a phase.
@@ -164,5 +193,54 @@ mod tests {
         }
         let amr_count = Phase::ALL.iter().filter(|p| p.is_amr()).count();
         assert_eq!(amr_count, 9);
+    }
+
+    #[test]
+    fn index_matches_all_order_for_every_phase() {
+        // `index()` is the enum discriminant; this pins ALL to legend
+        // order so a reordering of either is caught immediately.
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p:?}");
+        }
+        // ALL is a permutation of the variants (no duplicates, full
+        // coverage of the seconds array).
+        let mut seen = [false; Phase::ALL.len()];
+        for p in Phase::ALL {
+            assert!(!seen[p.index()], "{p:?} appears twice");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_summary_maps_phases_and_derives_minres() {
+        let mut s = obs::Summary::default();
+        let mut add = |label: &str, cat: &str, incl_ns: u64| {
+            s.phases.insert(
+                label.to_string(),
+                obs::PhaseStats {
+                    cat: cat.to_string(),
+                    count: 1,
+                    incl_ns,
+                    excl_ns: incl_ns,
+                },
+            );
+        };
+        add("BalanceTree", "amr", 2_000_000_000);
+        add("TimeIntegration", "solve", 1_000_000_000);
+        add("MINRES", "solve", 5_000_000_000);
+        add("AMGSolve", "solve", 3_000_000_000);
+        add("AMGSetup", "solve", 500_000_000);
+        add("comm:allreduce", "comm", 250_000_000); // not a phase: ignored
+        let t = PhaseTimers::from_summary(&s);
+        assert_eq!(t.get(Phase::BalanceTree), 2.0);
+        assert_eq!(t.get(Phase::TimeIntegration), 1.0);
+        // MINRES excludes the nested V-cycle time.
+        assert_eq!(t.get(Phase::Minres), 2.0);
+        assert_eq!(t.get(Phase::AmgSolve), 3.0);
+        assert_eq!(t.get(Phase::AmgSetup), 0.5);
+        assert_eq!(t.get(Phase::NewTree), 0.0);
+        assert_eq!(t.amr_total(), 2.0);
+        assert_eq!(t.solve_total(), 6.5);
     }
 }

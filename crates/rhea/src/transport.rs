@@ -14,9 +14,7 @@
 //! the SUPG mass (lumped-mass solve, then one consistency correction) and
 //! advanced with Heun's method under a CFL-limited step.
 
-use fem::element::{
-    advection_matrix, lumped_mass, mass_matrix, stiffness_matrix, supg_matrices,
-};
+use fem::element::{advection_matrix, lumped_mass, mass_matrix, stiffness_matrix, supg_matrices};
 use fem::op::DofMap;
 use mesh::extract::Mesh;
 use scomm::Comm;
@@ -35,7 +33,11 @@ pub struct TransportParams {
 
 impl Default for TransportParams {
     fn default() -> Self {
-        TransportParams { kappa: 1e-6, source: 0.0, cfl: 0.5 }
+        TransportParams {
+            kappa: 1e-6,
+            source: 0.0,
+            cfl: 0.5,
+        }
     }
 }
 
@@ -258,7 +260,9 @@ impl<'a> TransportSolver<'a> {
 
     /// Global L² norm weighted by the lumped mass (≈ ∫T² ).
     pub fn mass_weighted_norm(&self, t: &[f64]) -> f64 {
-        let local: f64 = (0..self.mesh.n_owned).map(|d| self.lumped[d] * t[d] * t[d]).sum();
+        let local: f64 = (0..self.mesh.n_owned)
+            .map(|d| self.lumped[d] * t[d] * t[d])
+            .sum();
         self.comm.allreduce_sum(&[local])[0].sqrt()
     }
 
@@ -281,7 +285,11 @@ mod tests {
         spmd::run(1, |c| {
             let t = DistOctree::new_uniform(c, 3);
             let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
-            let params = TransportParams { kappa: 1.0, source: 0.0, cfl: 0.25 };
+            let params = TransportParams {
+                kappa: 1.0,
+                source: 0.0,
+                cfl: 0.25,
+            };
             let mut ts = TransportSolver::new(&m, c, params);
             ts.set_dirichlet(0b111111, |_| 0.0);
             let pi = std::f64::consts::PI;
@@ -310,7 +318,11 @@ mod tests {
             let t = DistOctree::new_uniform(c, 4);
             let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
             // Nearly hyperbolic: tiny κ so SUPG carries stabilization.
-            let params = TransportParams { kappa: 1e-9, source: 0.0, cfl: 0.4 };
+            let params = TransportParams {
+                kappa: 1e-9,
+                source: 0.0,
+                cfl: 0.4,
+            };
             let mut ts = TransportSolver::new(&m, c, params);
             ts.set_velocity_fn(|_| [1.0, 0.0, 0.0]);
             ts.set_dirichlet(0b000001, |_| 0.0); // inflow face x=0
@@ -318,8 +330,9 @@ mod tests {
                 let r2 = (p[0] - x0).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2);
                 (-r2 / 0.01).exp()
             };
-            let mut temp: Vec<f64> =
-                (0..m.n_owned).map(|d| gauss(m.dof_coords(d), 0.25)).collect();
+            let mut temp: Vec<f64> = (0..m.n_owned)
+                .map(|d| gauss(m.dof_coords(d), 0.25))
+                .collect();
             let dt = ts.stable_dt();
             let t_final = 0.3;
             let nsteps = (t_final / dt).ceil() as usize;
@@ -357,7 +370,11 @@ mod tests {
         spmd::run(1, |c| {
             let t = DistOctree::new_uniform(c, 2);
             let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
-            let params = TransportParams { kappa: 0.0, source: 2.0, cfl: 0.5 };
+            let params = TransportParams {
+                kappa: 0.0,
+                source: 2.0,
+                cfl: 0.5,
+            };
             let ts = TransportSolver::new(&m, c, params);
             let mut temp = vec![0.0; m.n_owned];
             // With κ = 0 and u = 0, Ṫ = γ exactly.
@@ -375,7 +392,11 @@ mod tests {
             spmd::run(nranks, |c| {
                 let t = DistOctree::new_uniform(c, 3);
                 let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
-                let params = TransportParams { kappa: 1e-4, source: 0.0, cfl: 0.3 };
+                let params = TransportParams {
+                    kappa: 1e-4,
+                    source: 0.0,
+                    cfl: 0.3,
+                };
                 let mut ts = TransportSolver::new(&m, c, params);
                 ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]); // rotation
                 let mut temp: Vec<f64> = (0..m.n_owned)

@@ -4,7 +4,7 @@
 //! must be entered by every rank in the same order; point-to-point messages
 //! are matched by `(source, tag)` in FIFO order per `(source, tag)` pair.
 //!
-//! Internally the world is a set of crossbeam channels (point-to-point
+//! Internally the world is a set of mpsc channels (point-to-point
 //! mailboxes) plus a staging area and a reusable barrier for collectives.
 //! A collective is: *write my slot → barrier → read everyone's slots →
 //! barrier*. The trailing barrier makes slot reuse by the next collective
@@ -12,9 +12,10 @@
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::Recorder;
 
 use crate::pod::{as_bytes, from_bytes, Pod};
 use crate::stats::CommStats;
@@ -48,7 +49,7 @@ impl World {
         let mut senders = Vec::with_capacity(nranks);
         let mut receivers = Vec::with_capacity(nranks);
         for _ in 0..nranks {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(Mutex::new(Some(rx)));
         }
@@ -56,7 +57,9 @@ impl World {
             nranks,
             barrier: Barrier::new(nranks),
             slots: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
-            matrix: (0..nranks * nranks).map(|_| Mutex::new(Vec::new())).collect(),
+            matrix: (0..nranks * nranks)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             senders,
             receivers,
         })
@@ -76,6 +79,7 @@ impl World {
             inbox: rx,
             pending: RefCell::new(VecDeque::new()),
             stats: RefCell::new(CommStats::default()),
+            rec: RefCell::new(None),
         }
     }
 }
@@ -89,6 +93,9 @@ pub struct Comm {
     /// Messages received but not yet matched by a `recv` call.
     pending: RefCell<VecDeque<Message>>,
     stats: RefCell<CommStats>,
+    /// Optional telemetry recorder; when attached, every communication op
+    /// emits a `comm`-category span and message sizes feed a histogram.
+    rec: RefCell<Option<Recorder>>,
 }
 
 impl Comm {
@@ -114,25 +121,59 @@ impl Comm {
         *self.stats.borrow_mut() = CommStats::default();
     }
 
+    /// Attach a telemetry recorder. From here on every communication op
+    /// records a span named `comm:<op>` (category `"comm"`) — wait time at
+    /// barriers shows up as span duration — and payload sizes are recorded
+    /// into the `comm.bytes` histogram.
+    pub fn set_recorder(&self, rec: Recorder) {
+        *self.rec.borrow_mut() = Some(rec);
+    }
+
+    /// The attached recorder, if any. Cloning is cheap: a `Recorder` is a
+    /// shared handle, so layers above (solvers, AMR) can pick up the same
+    /// per-rank recorder from the communicator they were given.
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.rec.borrow().clone()
+    }
+
+    /// Open a `comm`-category span for one op, if a recorder is attached.
+    fn op_span(&self, name: &'static str) -> Option<obs::SpanGuard> {
+        self.rec.borrow().as_ref().map(|r| r.span_cat(name, "comm"))
+    }
+
+    /// Record one op's payload size into the message-size histogram.
+    fn op_bytes(&self, bytes: u64) {
+        if let Some(r) = self.rec.borrow().as_ref() {
+            r.record_value("comm.bytes", bytes);
+        }
+    }
+
     // ----------------------------------------------------------------
     // Point-to-point
     // ----------------------------------------------------------------
 
     /// Buffered, non-blocking send of a typed slice to `dst` with `tag`.
     pub fn send<T: Pod>(&self, dst: usize, tag: u64, data: &[T]) {
+        let _t = self.op_span("comm:send");
         let bytes = as_bytes(data).to_vec();
+        self.op_bytes(bytes.len() as u64);
         {
             let mut s = self.stats.borrow_mut();
             s.p2p_messages += 1;
             s.p2p_bytes += bytes.len() as u64;
         }
         self.world.senders[dst]
-            .send(Message { src: self.rank, tag, bytes })
+            .send(Message {
+                src: self.rank,
+                tag,
+                bytes,
+            })
             .expect("receiver hung up: peer rank terminated early");
     }
 
     /// Blocking receive of a message from `src` with `tag`.
     pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> Vec<T> {
+        let _t = self.op_span("comm:recv");
         // First scan messages that arrived earlier but were not matched.
         {
             let mut pending = self.pending.borrow_mut();
@@ -156,6 +197,7 @@ impl Comm {
     /// Blocking receive of the next message with `tag` from any source.
     /// Returns `(source, data)`.
     pub fn recv_any<T: Pod>(&self, tag: u64) -> (usize, Vec<T>) {
+        let _t = self.op_span("comm:recv");
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|m| m.tag == tag) {
@@ -185,6 +227,7 @@ impl Comm {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        let _t = self.op_span("comm:barrier");
         self.stats.borrow_mut().barriers += 1;
         self.world.barrier.wait();
     }
@@ -198,6 +241,7 @@ impl Comm {
     /// Gather variable-length contributions from all ranks, concatenated in
     /// rank order, on all ranks.
     pub fn allgatherv<T: Pod>(&self, data: &[T]) -> Vec<T> {
+        let _t = self.op_span("comm:allgatherv");
         let world = &self.world;
         {
             let mut slot = world.slots[self.rank].lock().unwrap();
@@ -218,12 +262,14 @@ impl Comm {
             s.allgathers += 1;
             s.collective_bytes += total_bytes;
         }
+        self.op_bytes(total_bytes);
         out
     }
 
     /// All-reduce with an arbitrary elementwise combiner. All ranks must
     /// pass equal-length slices.
     pub fn allreduce<T: Pod, F: Fn(T, T) -> T>(&self, data: &[T], op: F) -> Vec<T> {
+        let _t = self.op_span("comm:allreduce");
         let n = data.len();
         let gathered = self.allgatherv(data);
         assert_eq!(
@@ -265,6 +311,7 @@ impl Comm {
     where
         T: Pod + std::ops::Add<Output = T> + Default,
     {
+        let _t = self.op_span("comm:exscan");
         let all = self.allgatherv(&[value]);
         let mut s = self.stats.borrow_mut();
         s.exscans += 1;
@@ -279,6 +326,7 @@ impl Comm {
 
     /// Broadcast `data` from `root` to all ranks.
     pub fn bcast<T: Pod>(&self, root: usize, data: &[T]) -> Vec<T> {
+        let _t = self.op_span("comm:bcast");
         let world = &self.world;
         if self.rank == root {
             let mut slot = world.slots[root].lock().unwrap();
@@ -296,6 +344,7 @@ impl Comm {
             s.bcasts += 1;
             s.collective_bytes += (out.len() * std::mem::size_of::<T>()) as u64;
         }
+        self.op_bytes((out.len() * std::mem::size_of::<T>()) as u64);
         out
     }
 
@@ -303,6 +352,7 @@ impl Comm {
     /// rank `d` (length `size()`); returns `incoming` where `incoming[s]`
     /// is the payload rank `s` sent to this rank.
     pub fn alltoallv<T: Pod>(&self, outgoing: &[Vec<T>]) -> Vec<Vec<T>> {
+        let _t = self.op_span("comm:alltoallv");
         let p = self.size();
         assert_eq!(outgoing.len(), p, "alltoallv needs one payload per rank");
         let world = &self.world;
@@ -332,6 +382,7 @@ impl Comm {
                 .count() as u64;
             s.p2p_bytes += sent_bytes;
         }
+        self.op_bytes(sent_bytes);
         incoming
     }
 
@@ -426,7 +477,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let out = spmd::run(3, |c| {
-            let data = if c.rank() == 2 { vec![42u32, 43] } else { vec![] };
+            let data = if c.rank() == 2 {
+                vec![42u32, 43]
+            } else {
+                vec![]
+            };
             c.bcast(2, &data)
         });
         for o in out {

@@ -38,9 +38,7 @@ unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
 pub fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
     // SAFETY: `T: Pod` guarantees the representation is plain bytes and
     // reading padding is tolerated. Lifetime and length are preserved.
-    unsafe {
-        std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data))
-    }
+    unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, std::mem::size_of_val(data)) }
 }
 
 /// Copy raw bytes (produced by [`as_bytes`] on the same type) back into a
@@ -52,7 +50,7 @@ pub fn as_bytes<T: Pod>(data: &[T]) -> &[u8] {
 pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let size = std::mem::size_of::<T>();
     assert!(
-        size == 0 || bytes.len() % size == 0,
+        size == 0 || bytes.len().is_multiple_of(size),
         "byte buffer length {} not a multiple of element size {}",
         bytes.len(),
         size

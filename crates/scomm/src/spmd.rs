@@ -4,6 +4,8 @@
 //! is the "main" of the simulated MPI program. Results are collected in
 //! rank order.
 
+use obs::{RankProfile, Recorder};
+
 use crate::comm::{Comm, World};
 use crate::stats::CommStats;
 
@@ -71,6 +73,26 @@ where
     (out, stats)
 }
 
+/// Like [`run`] but with per-rank telemetry: each rank gets an
+/// [`obs::Recorder`] attached to its communicator (so communication ops
+/// auto-emit spans), the closure receives the recorder to add its own
+/// spans/counters, and the per-rank [`RankProfile`]s come back in rank
+/// order, ready for [`obs::ObsSession::write`] or a cross-rank
+/// [`obs::Reduce`] merge.
+pub fn run_traced<F, R>(nranks: usize, f: F) -> (Vec<R>, Vec<RankProfile>)
+where
+    F: Fn(&Comm, &Recorder) -> R + Sync,
+    R: Send,
+{
+    let paired = run(nranks, |comm| {
+        let rec = Recorder::new(comm.rank());
+        comm.set_recorder(rec.clone());
+        let r = f(comm, &rec);
+        (r, rec.profile())
+    });
+    paired.into_iter().unzip()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +117,30 @@ mod tests {
         assert_eq!(stats[1].p2p_bytes, 3);
         assert_eq!(stats[0].p2p_bytes, 0);
         assert!(stats.iter().all(|s| s.barriers == 1));
+    }
+
+    #[test]
+    fn traced_run_collects_comm_spans_per_rank() {
+        let (out, profiles) = run_traced(3, |c, rec| {
+            let _step = rec.span("Step");
+            let sum = c.allreduce_sum(&[c.rank() as u64 + 1]);
+            c.barrier();
+            sum[0]
+        });
+        assert_eq!(out, vec![6, 6, 6]);
+        assert_eq!(profiles.len(), 3);
+        for (r, p) in profiles.iter().enumerate() {
+            assert_eq!(p.rank, r);
+            // The user span plus auto-emitted comm spans are all present.
+            assert_eq!(p.summary.phases["Step"].count, 1);
+            assert_eq!(p.summary.phases["comm:allreduce"].cat, "comm");
+            assert_eq!(p.summary.phases["comm:barrier"].count, 1);
+            // allreduce nests allgatherv under it on the same rank.
+            assert_eq!(p.summary.phases["comm:allgatherv"].count, 1);
+            // Payload sizes landed in the histogram (8 bytes * 3 ranks).
+            assert_eq!(p.summary.hists["comm.bytes"].count, 1);
+            assert_eq!(p.summary.hists["comm.bytes"].sum, 24);
+        }
     }
 
     #[test]

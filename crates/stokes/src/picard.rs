@@ -23,7 +23,11 @@ pub struct PicardOptions {
 
 impl Default for PicardOptions {
     fn default() -> Self {
-        PicardOptions { max_picard: 30, rheology_tol: 1e-3, stokes: StokesOptions::default() }
+        PicardOptions {
+            max_picard: 30,
+            rheology_tol: 1e-3,
+            stokes: StokesOptions::default(),
+        }
     }
 }
 
@@ -65,8 +69,13 @@ where
     let mut iters = 0;
     for it in 0..options.max_picard {
         iters = it + 1;
-        let mut solver =
-            StokesSolver::new(mesh, comm, viscosity.clone(), vel_bc.clone(), options.stokes);
+        let mut solver = StokesSolver::new(
+            mesh,
+            comm,
+            viscosity.clone(),
+            vel_bc.clone(),
+            options.stokes,
+        );
         let (rhs, x0) = solver.build_rhs(&body_force, &bc_values);
         if it == 0 {
             x = x0;
@@ -153,12 +162,18 @@ mod tests {
                 },
                 |p| [0.0, 0.0, 10.0 * (std::f64::consts::PI * p[0]).sin()],
                 |_| [0.0; 3],
-                PicardOptions { max_picard: 40, ..Default::default() },
+                PicardOptions {
+                    max_picard: 40,
+                    ..Default::default()
+                },
             );
             assert!(res.converged, "picard did not converge");
             let min_eta = res.viscosity.iter().cloned().fold(f64::INFINITY, f64::min);
             let g = c.allreduce_min(&[min_eta])[0];
-            assert!(g < 1.0, "yielding must lower viscosity somewhere: min η = {g}");
+            assert!(
+                g < 1.0,
+                "yielding must lower viscosity somewhere: min η = {g}"
+            );
             assert!(res.picard_iterations > 1, "nonlinearity must engage");
         });
     }

@@ -5,9 +5,10 @@ use fem::element::{
     divergence_matrix, lumped_mass, pressure_stabilization, stiffness_matrix, viscous_matrix,
 };
 use fem::op::DofMap;
-use la::krylov::{minres, LinearOp, SolveInfo};
+use la::krylov::{minres_observed, LinearOp, SolveInfo};
 use la::{Amg, AmgOptions};
 use mesh::extract::Mesh;
+use obs::Recorder;
 use scomm::Comm;
 
 /// Solver options.
@@ -20,7 +21,11 @@ pub struct StokesOptions {
 
 impl Default for StokesOptions {
     fn default() -> Self {
-        StokesOptions { tol: 1e-8, max_iter: 500, amg: AmgOptions::default() }
+        StokesOptions {
+            tol: 1e-8,
+            max_iter: 500,
+            amg: AmgOptions::default(),
+        }
     }
 }
 
@@ -88,9 +93,18 @@ impl<'a> StokesSolver<'a> {
         solver
     }
 
+    /// The recorder attached to this solver's communicator, if any: the
+    /// solver reports its telemetry (`AMGSetup`/`MINRES`/`AMGSolve` spans,
+    /// residual series) through the same per-rank recorder the
+    /// communication layer uses, so callers don't have to thread one in.
+    fn recorder(&self) -> Option<Recorder> {
+        self.comm.recorder()
+    }
+
     /// (Re-)run the preconditioner setup: assemble the η-weighted scalar
     /// Poisson owned block, build AMG, and the Schur diagonal.
     pub fn setup(&mut self) {
+        let _span = self.recorder().map(|r| r.span_cat("AMGSetup", "solve"));
         let t0 = std::time::Instant::now();
         // One scalar η-weighted Poisson hierarchy per velocity component:
         // under free-slip conditions the components carry different
@@ -123,8 +137,7 @@ impl<'a> StokesSolver<'a> {
                 self.amg.push(shared);
                 continue;
             }
-            let a_block =
-                fem::assembly::assemble_owned_block(&self.smap, &src, Some(&masks[comp]));
+            let a_block = fem::assembly::assemble_owned_block(&self.smap, &src, Some(&masks[comp]));
             let amg = Amg::new(a_block, self.options.amg);
             self.stats.amg_levels = amg.num_levels();
             built.push((comp, self.amg.len()));
@@ -258,9 +271,13 @@ impl<'a> StokesSolver<'a> {
                 self.0.n_owned()
             }
         }
-        struct PreWrap<'s, 'a>(&'s StokesSolver<'a>, std::cell::Cell<f64>);
+        struct PreWrap<'s, 'a>(&'s StokesSolver<'a>, std::cell::Cell<f64>, Option<Recorder>);
         impl LinearOp for PreWrap<'_, '_> {
             fn apply(&self, r: &[f64], z: &mut [f64]) {
+                let _span = self.2.as_ref().map(|rec| {
+                    rec.add_count("amg.vcycles", 3); // one per velocity component
+                    rec.span_cat("AMGSolve", "solve")
+                });
                 let t0 = std::time::Instant::now();
                 self.0.apply_preconditioner(r, z);
                 self.1.set(self.1.get() + t0.elapsed().as_secs_f64());
@@ -269,11 +286,13 @@ impl<'a> StokesSolver<'a> {
                 self.0.n_owned()
             }
         }
+        let rec = self.recorder();
+        let _span = rec.as_ref().map(|r| r.span_cat("MINRES", "solve"));
         let t0 = std::time::Instant::now();
         let (info, vcycle_secs) = {
             let op = OpWrap(self);
-            let pre = PreWrap(self, std::cell::Cell::new(0.0));
-            let info = minres(
+            let pre = PreWrap(self, std::cell::Cell::new(0.0), rec.clone());
+            let info = minres_observed(
                 &op,
                 Some(&pre),
                 rhs,
@@ -281,12 +300,20 @@ impl<'a> StokesSolver<'a> {
                 self.options.tol,
                 self.options.max_iter,
                 |a, b| self.dot(a, b),
+                |_iter, res| {
+                    if let Some(r) = rec.as_ref() {
+                        r.push_series("minres.residual", res);
+                    }
+                },
             );
             (info, pre.1.get())
         };
         self.stats.minres_seconds += t0.elapsed().as_secs_f64();
         self.stats.amg_vcycle_seconds += vcycle_secs;
         self.stats.minres_iterations += info.iterations;
+        if let Some(r) = rec.as_ref() {
+            r.add_count("minres.iterations", info.iterations as u64);
+        }
         info
     }
 
@@ -515,8 +542,7 @@ mod tests {
             let n = m.n_owned;
             let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
             let visc = vec![1.0; m.elements.len()];
-            let mut solver =
-                StokesSolver::new(&m, c, visc, bc, StokesOptions::default());
+            let mut solver = StokesSolver::new(&m, c, visc, bc, StokesOptions::default());
             let (rhs, mut x) = solver.build_rhs(mms_force, |p| mms(p).0);
             let info = solver.solve(&rhs, &mut x);
             assert!(info.converged, "{info:?}");
@@ -565,15 +591,19 @@ mod tests {
                     let t = DistOctree::new_uniform(c, 2);
                     let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
                     let n = m.n_owned;
-                    let bc: Vec<bool> =
-                        (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+                    let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
                     let visc: Vec<f64> = m
                         .elements
                         .iter()
-                        .map(|o| if o.center_unit()[2] > 0.5 { contrast } else { 1.0 })
+                        .map(|o| {
+                            if o.center_unit()[2] > 0.5 {
+                                contrast
+                            } else {
+                                1.0
+                            }
+                        })
                         .collect();
-                    let mut solver =
-                        StokesSolver::new(&m, c, visc, bc, StokesOptions::default());
+                    let mut solver = StokesSolver::new(&m, c, visc, bc, StokesOptions::default());
                     let (rhs, mut x) =
                         solver.build_rhs(|p| [0.0, 0.0, (p[0] * 7.0).sin()], |_| [0.0; 3]);
                     let info = solver.solve(&rhs, &mut x);
@@ -602,8 +632,7 @@ mod tests {
             let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
             let visc = vec![1.0; m.elements.len()];
             let mut solver = StokesSolver::new(&m, c, visc, bc, StokesOptions::default());
-            let (rhs, mut x) =
-                solver.build_rhs(|p| [0.0, 0.0, (3.0 * p[0]).sin()], |_| [0.0; 3]);
+            let (rhs, mut x) = solver.build_rhs(|p| [0.0, 0.0, (3.0 * p[0]).sin()], |_| [0.0; 3]);
             let info = solver.solve(&rhs, &mut x);
             assert!(info.converged);
             // Residual of the continuity row: B u − C p must be small
@@ -611,7 +640,7 @@ mod tests {
             let mut y = vec![0.0; solver.n_owned()];
             solver.apply(&x, &mut y);
             let nu = 3 * n;
-            let div_res: f64 = solver.dot(&y[nu..].to_vec(), &y[nu..].to_vec()).sqrt();
+            let div_res: f64 = solver.dot(&y[nu..], &y[nu..]).sqrt();
             let rhs_norm: f64 = solver.dot(&rhs, &rhs).sqrt().max(1e-30);
             assert!(div_res / rhs_norm < 1e-6, "divergence residual {div_res}");
         });

@@ -9,7 +9,7 @@
 use mesh::extract::extract_mesh;
 use octree::parallel::DistOctree;
 use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
-use rhea::timers::{Phase, PhaseTimers};
+use rhea::timers::PhaseTimers;
 use rhea::transport::{TransportParams, TransportSolver};
 use scomm::spmd;
 
@@ -20,27 +20,29 @@ fn main() {
     const TARGET: u64 = 4000;
     println!("Advecting front with dynamic AMR ({RANKS} ranks, target {TARGET} elements)\n");
 
-    let out = spmd::run(RANKS, |comm| {
+    let (out, profiles) = spmd::run_traced(RANKS, |comm, rec| {
         let mut tree = DistOctree::new_uniform(comm, 3);
         let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
         let mut temp: Vec<f64> = (0..mesh.n_owned)
             .map(|d| {
                 let p = mesh.dof_coords(d);
-                let r = ((p[0] - 0.7).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2))
-                    .sqrt();
+                let r = ((p[0] - 0.7).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt();
                 0.5 * (1.0 - ((r - 0.18) * 50.0).tanh())
             })
             .collect();
-        let mut timers = PhaseTimers::new();
         let mut log = Vec::new();
         for step in 0..STEPS {
-            let params = TransportParams { kappa: 1e-7, source: 0.0, cfl: 0.4 };
-            let mut ts = TransportSolver::new(&mesh, comm, params);
-            ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
-            let t0 = std::time::Instant::now();
-            let dt = ts.stable_dt().min(0.02);
-            ts.step(&mut temp, dt);
-            timers.add(Phase::TimeIntegration, t0.elapsed().as_secs_f64());
+            rec.with_cat("TimeIntegration", "solve", || {
+                let params = TransportParams {
+                    kappa: 1e-7,
+                    source: 0.0,
+                    cfl: 0.4,
+                };
+                let mut ts = TransportSolver::new(&mesh, comm, params);
+                ts.set_velocity_fn(|p| [0.5 - p[1], p[0] - 0.5, 0.0]);
+                let dt = ts.stable_dt().min(0.02);
+                ts.step(&mut temp, dt);
+            });
             if step % ADAPT_EVERY == ADAPT_EVERY - 1 {
                 let ind = gradient_indicator(&mesh, comm, &temp);
                 let fields = [temp.clone()];
@@ -50,24 +52,38 @@ fn main() {
                     min_level: 2,
                     ..Default::default()
                 };
-                let (nm, mut nf, rep) =
-                    adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, &mut timers);
+                let (nm, mut nf, rep) = adapt_mesh(&mut tree, &mesh, &fields, &ind, &aparams, rec);
                 mesh = nm;
                 temp = nf.remove(0);
-                log.push((step, rep.refined, rep.coarsened_families, rep.elements_after));
+                log.push((
+                    step,
+                    rep.refined,
+                    rep.coarsened_families,
+                    rep.elements_after,
+                ));
             }
         }
         let (mn, mx) = {
             let ts = TransportSolver::new(&mesh, comm, TransportParams::default());
             ts.min_max(&temp)
         };
-        (log, timers, mn, mx)
+        (log, mn, mx)
     });
 
-    let (log, timers, mn, mx) = &out[0];
-    println!("{:>6} {:>9} {:>11} {:>12}", "step", "refined", "coarsened", "elements");
+    let (log, mn, mx) = &out[0];
+    let timers = PhaseTimers::from_summary(&profiles[0].summary);
+    println!(
+        "{:>6} {:>9} {:>11} {:>12}",
+        "step", "refined", "coarsened", "elements"
+    );
     for (step, refined, coarsened, after) in log {
-        println!("{:>6} {:>9} {:>11} {:>12}", step + 1, refined, coarsened, after);
+        println!(
+            "{:>6} {:>9} {:>11} {:>12}",
+            step + 1,
+            refined,
+            coarsened,
+            after
+        );
     }
     println!("\nfield bounds after {STEPS} steps: [{mn:.4}, {mx:.4}] (SUPG keeps it monotone)");
     let amr = timers.amr_total();

@@ -30,12 +30,23 @@ fn main() {
                 min_level: 1,
                 ..Default::default()
             },
-            transport: TransportParams { kappa: 1.0, source: 0.0, cfl: 0.4 },
-            stokes: StokesOptions { tol: 1e-5, max_iter: 300, ..Default::default() },
+            transport: TransportParams {
+                kappa: 1.0,
+                source: 0.0,
+                cfl: 0.4,
+            },
+            stokes: StokesOptions {
+                tol: 1e-5,
+                max_iter: 300,
+                ..Default::default()
+            },
             picard_steps: 2,
         };
         let mut sim = ConvectionSim::new(comm, 2, params);
-        let law = YieldingLaw { yield_stress: 1.0, exponent: 6.9 };
+        let law = YieldingLaw {
+            yield_stress: 1.0,
+            exponent: 6.9,
+        };
         let mut rows = Vec::new();
         for _ in 0..STEPS {
             let rep = sim.step(&law);
@@ -45,7 +56,8 @@ fn main() {
             let gmax = comm.allreduce_max(&[eta_max])[0];
             rows.push((rep, gmin, gmax));
         }
-        let amr_pct = 100.0 * sim.timers.amr_total() / sim.timers.total();
+        let timers = sim.timers();
+        let amr_pct = 100.0 * timers.amr_total() / timers.total();
         (rows, amr_pct)
     });
 

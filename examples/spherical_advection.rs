@@ -34,7 +34,11 @@ fn main() {
             // Solid-body rotation about the z axis.
             let mut dg = DgAdvection::new(
                 &forest,
-                DgParams { order, cfl: 0.25, ..Default::default() },
+                DgParams {
+                    order,
+                    cfl: 0.25,
+                    ..Default::default()
+                },
                 init,
                 |q| [-q[1], q[0], 0.0],
             );

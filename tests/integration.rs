@@ -17,7 +17,7 @@ fn repeated_adaptation_cycles_stay_valid() {
         // A linear field must survive arbitrarily many transfers exactly.
         let f = |p: [f64; 3]| 2.0 * p[0] - p[1] + 0.5 * p[2];
         let mut field: Vec<f64> = (0..mesh.n_owned).map(|d| f(mesh.dof_coords(d))).collect();
-        let mut timers = rhea::timers::PhaseTimers::new();
+        let rec = obs::Recorder::new(c.rank());
         for cycle in 0..4 {
             // Feature moves along x over the cycles.
             let x0 = 0.2 + 0.2 * cycle as f64;
@@ -36,7 +36,7 @@ fn repeated_adaptation_cycles_stay_valid() {
                 ..Default::default()
             };
             let (nm, mut nf, _) =
-                rhea::adapt::adapt_mesh(&mut tree, &mesh, &[field], &ind, &params, &mut timers);
+                rhea::adapt::adapt_mesh(&mut tree, &mesh, &[field], &ind, &params, &rec);
             mesh = nm;
             field = nf.remove(0);
             assert!(tree.validate(), "cycle {cycle}");
@@ -66,7 +66,11 @@ fn coupled_convection_on_adapted_mesh() {
                 min_level: 1,
                 ..Default::default()
             },
-            stokes: stokes::StokesOptions { tol: 1e-5, max_iter: 250, ..Default::default() },
+            stokes: stokes::StokesOptions {
+                tol: 1e-5,
+                max_iter: 250,
+                ..Default::default()
+            },
             picard_steps: 1,
             ..Default::default()
         };
@@ -97,7 +101,10 @@ fn mark_balance_partition_interplay() {
                     ((ctr[0] - 0.5).powi(2) + (ctr[1] - 0.5).powi(2)).sqrt()
                 })
                 .collect();
-            let params = MarkParams { target_elements: 1200, ..Default::default() };
+            let params = MarkParams {
+                target_elements: 1200,
+                ..Default::default()
+            };
             tree.adapt_to_target(&ind, &params);
             tree.balance(BalanceKind::Full);
             tree.partition();
@@ -145,10 +152,13 @@ fn stokes_iterations_stable_under_adaptivity() {
                     c,
                     visc,
                     bc,
-                    stokes::StokesOptions { tol: 1e-7, max_iter: 400, ..Default::default() },
+                    stokes::StokesOptions {
+                        tol: 1e-7,
+                        max_iter: 400,
+                        ..Default::default()
+                    },
                 );
-                let (rhs, mut x) =
-                    s.build_rhs(|p| [0.0, 0.0, (2.0 * p[0]).sin()], |_| [0.0; 3]);
+                let (rhs, mut x) = s.build_rhs(|p| [0.0, 0.0, (2.0 * p[0]).sin()], |_| [0.0; 3]);
                 let info = s.solve(&rhs, &mut x);
                 assert!(info.converged);
                 info.iterations
@@ -175,7 +185,11 @@ fn dg_and_fem_share_octree_infrastructure() {
         let forest = Forest::new_uniform(c, conn.clone(), 2);
         let mut dg = mangll::advection::DgAdvection::new(
             &forest,
-            mangll::advection::DgParams { order: 2, cfl: 0.3, ..Default::default() },
+            mangll::advection::DgParams {
+                order: 2,
+                cfl: 0.3,
+                ..Default::default()
+            },
             |p| (-((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2)) / 0.02).exp(),
             |_| [1.0, 0.0, 0.0],
         );

@@ -1,0 +1,212 @@
+//! Differential harness: prove rank-count independence by running the
+//! same seeded problem at several rank counts and comparing global
+//! results.
+//!
+//! The comparison contract follows what the algorithms actually
+//! guarantee:
+//!
+//! * The **global leaf set** (concatenation of per-rank leaves in rank
+//!   order) is bitwise identical — refinement marks come from exact
+//!   integer/max reductions, so partitioning must not change them.
+//! * The **node-key set** (sorted union of owned keys) is bitwise
+//!   identical. The gid *assignment* is rank-major by construction and
+//!   therefore legitimately P-dependent; the set of independent nodes
+//!   is not.
+//! * Named **counts** (global element/dof counts) are exactly equal.
+//! * Named **series** (solver residual histories) match to a relative
+//!   tolerance on the common prefix, with a bounded length difference:
+//!   global dot products reduce partial sums in rank order, so the last
+//!   bits differ with P and an iteration count near the stopping
+//!   threshold may shift by one.
+
+use scomm::{spmd, Comm};
+
+/// Per-rank contribution to the differential comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fingerprint {
+    /// Locally owned leaves as `(tree, morton key, level)`; use tree 0
+    /// for single-octree runs. Concatenated across ranks in rank order.
+    pub leaves: Vec<(u32, u64, u8)>,
+    /// Locally owned node keys; compared as the sorted global union
+    /// (each key must be owned by exactly one rank).
+    pub node_keys: Vec<u64>,
+    /// Named global integers; must agree across ranks within a run and
+    /// exactly across rank counts.
+    pub counts: Vec<(String, u64)>,
+    /// Named global series; must agree across ranks within a run (to
+    /// tolerance) and to tolerance across rank counts.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// Tolerances for the series comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative tolerance for series entries.
+    pub series_rel_tol: f64,
+    /// Maximum allowed series length difference between rank counts.
+    pub series_len_slack: usize,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            series_rel_tol: 1e-6,
+            series_len_slack: 1,
+        }
+    }
+}
+
+/// Globally merged view of one run.
+struct Global {
+    nranks: usize,
+    leaves: Vec<(u32, u64, u8)>,
+    node_keys: Vec<u64>,
+    counts: Vec<(String, u64)>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    (a - b).abs() <= tol * scale
+}
+
+fn merge(nranks: usize, fps: Vec<Fingerprint>, errs: &mut Vec<String>) -> Global {
+    let mut leaves = Vec::new();
+    let mut node_keys = Vec::new();
+    for fp in &fps {
+        leaves.extend(fp.leaves.iter().copied());
+        node_keys.extend(fp.node_keys.iter().copied());
+    }
+    node_keys.sort_unstable();
+    for w in node_keys.windows(2) {
+        if w[0] == w[1] {
+            errs.push(format!(
+                "P={nranks}: node key {:#x} owned by more than one rank",
+                w[0]
+            ));
+        }
+    }
+    node_keys.dedup();
+    // Counts and series must agree across ranks within the run.
+    for (r, fp) in fps.iter().enumerate().skip(1) {
+        if fp.counts != fps[0].counts {
+            errs.push(format!(
+                "P={nranks}: rank {r} reports counts {:?}, rank 0 {:?}",
+                fp.counts, fps[0].counts
+            ));
+        }
+        let names_match = fp.series.len() == fps[0].series.len()
+            && fp
+                .series
+                .iter()
+                .zip(&fps[0].series)
+                .all(|(a, b)| a.0 == b.0 && a.1.len() == b.1.len());
+        let values_match = names_match
+            && fp
+                .series
+                .iter()
+                .zip(&fps[0].series)
+                .all(|(a, b)| a.1.iter().zip(&b.1).all(|(&x, &y)| rel_close(x, y, 1e-12)));
+        if !values_match {
+            errs.push(format!(
+                "P={nranks}: rank {r} series disagree with rank 0 \
+                 (global reductions should make them identical)"
+            ));
+        }
+    }
+    Global {
+        nranks,
+        leaves,
+        node_keys,
+        counts: fps[0].counts.clone(),
+        series: fps[0].series.clone(),
+    }
+}
+
+fn compare(base: &Global, other: &Global, opts: &DiffOptions, errs: &mut Vec<String>) {
+    let (p0, p1) = (base.nranks, other.nranks);
+    if base.leaves != other.leaves {
+        let n0 = base.leaves.len();
+        let n1 = other.leaves.len();
+        let first_diff = base
+            .leaves
+            .iter()
+            .zip(&other.leaves)
+            .position(|(a, b)| a != b);
+        errs.push(format!(
+            "P={p1} vs P={p0}: global leaf sets differ \
+             ({n0} vs {n1} leaves, first difference at {first_diff:?})"
+        ));
+    }
+    if base.node_keys != other.node_keys {
+        errs.push(format!(
+            "P={p1} vs P={p0}: independent node-key sets differ \
+             ({} vs {} keys)",
+            base.node_keys.len(),
+            other.node_keys.len()
+        ));
+    }
+    if base.counts != other.counts {
+        errs.push(format!(
+            "P={p1} vs P={p0}: global counts differ: {:?} vs {:?}",
+            base.counts, other.counts
+        ));
+    }
+    if base.series.len() != other.series.len()
+        || base
+            .series
+            .iter()
+            .zip(&other.series)
+            .any(|(a, b)| a.0 != b.0)
+    {
+        errs.push(format!(
+            "P={p1} vs P={p0}: series names differ: {:?} vs {:?}",
+            base.series.iter().map(|s| &s.0).collect::<Vec<_>>(),
+            other.series.iter().map(|s| &s.0).collect::<Vec<_>>()
+        ));
+        return;
+    }
+    for ((name, a), (_, b)) in base.series.iter().zip(&other.series) {
+        if a.len().abs_diff(b.len()) > opts.series_len_slack {
+            errs.push(format!(
+                "P={p1} vs P={p0}: series '{name}' lengths {} vs {} exceed slack {}",
+                a.len(),
+                b.len(),
+                opts.series_len_slack
+            ));
+        }
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            if !rel_close(x, y, opts.series_rel_tol) {
+                errs.push(format!(
+                    "P={p1} vs P={p0}: series '{name}'[{i}] differs: {x} vs {y}"
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// Run `f` at every rank count in `ranks` and compare the merged global
+/// results against the first entry. Returns the list of mismatches
+/// (empty = rank-count independent).
+pub fn run_differential<F>(ranks: &[usize], opts: &DiffOptions, f: F) -> Result<(), Vec<String>>
+where
+    F: Fn(&Comm) -> Fingerprint + Sync,
+{
+    assert!(!ranks.is_empty(), "need at least one rank count");
+    let mut errs = Vec::new();
+    let mut baseline: Option<Global> = None;
+    for &p in ranks {
+        let fps = spmd::run(p, |c| f(c));
+        let g = merge(p, fps, &mut errs);
+        match &baseline {
+            None => baseline = Some(g),
+            Some(base) => compare(base, &g, opts, &mut errs),
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}

@@ -1,0 +1,123 @@
+//! Invariant checkers for the distributed forest of octrees.
+//!
+//! Same contract as [`crate::octree_checks`]: collective, read-only,
+//! data-independent collective schedule. Leaf identity lives in the
+//! `(tree, Morton key)` curve space, and adjacency follows the
+//! connectivity's inter-tree face transforms via [`Forest::neighbor`].
+
+use forest::{Forest, ForestLeaf};
+use octree::balance::BalanceKind;
+
+use crate::{violation, Violation};
+
+/// Curve position of a leaf's first descendant.
+fn curve_start(l: &ForestLeaf) -> u128 {
+    ((l.tree as u128) << 64) | l.oct.key() as u128
+}
+
+/// Curve position of a leaf's last descendant.
+fn curve_end(l: &ForestLeaf) -> u128 {
+    ((l.tree as u128) << 64) | l.oct.last_descendant().key() as u128
+}
+
+/// Containment search in a sorted global leaf union.
+fn find_containing_in(leaves: &[ForestLeaf], target: &ForestLeaf) -> Option<usize> {
+    let idx = leaves.partition_point(|l| l <= target);
+    if idx == 0 {
+        return None;
+    }
+    let cand = idx - 1;
+    let c = &leaves[cand];
+    if c.tree == target.tree && c.oct.contains(&target.oct) {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Leaf curve ordering and non-overlap within and across trees and
+/// ranks. Cost: O(local) + one allgather of four limbs per rank.
+pub fn morton_order(forest: &Forest) -> Vec<Violation> {
+    const NAME: &str = "morton_order";
+    let comm = forest.comm();
+    let me = comm.rank();
+    let mut out = Vec::new();
+    for (i, w) in forest.local.windows(2).enumerate() {
+        if curve_end(&w[0]) >= curve_start(&w[1]) {
+            out.push(violation(
+                NAME,
+                me,
+                format!(
+                    "local forest leaves {i} and {} out of order or overlapping: \
+                     {:?} then {:?}",
+                    i + 1,
+                    w[0],
+                    w[1]
+                ),
+            ));
+        }
+    }
+    let first = forest.local.first().map(curve_start).unwrap_or(u128::MAX);
+    let last = forest.local.last().map(curve_end).unwrap_or(0);
+    let limbs = comm.allgatherv(&[
+        (first >> 64) as u64,
+        first as u64,
+        (last >> 64) as u64,
+        last as u64,
+    ]);
+    let mut prev: Option<(usize, u128)> = None;
+    for r in 0..comm.size() {
+        let f = ((limbs[4 * r] as u128) << 64) | limbs[4 * r + 1] as u128;
+        let l = ((limbs[4 * r + 2] as u128) << 64) | limbs[4 * r + 3] as u128;
+        if f == u128::MAX {
+            continue;
+        }
+        if let Some((pr, pl)) = prev {
+            if f <= pl && r == me {
+                out.push(violation(
+                    NAME,
+                    me,
+                    format!(
+                        "rank {r} first curve key not after rank {pr} last: \
+                         global forest order/overlap broken"
+                    ),
+                ));
+            }
+        }
+        prev = Some((r, l.max(prev.map(|(_, pl)| pl).unwrap_or(0))));
+    }
+    out
+}
+
+/// 2:1 balance across the forest, including inter-tree face transforms.
+/// Cost: O(collective) — gathers the global leaf union.
+pub fn balance21(forest: &Forest, kind: BalanceKind) -> Vec<Violation> {
+    const NAME: &str = "balance21";
+    let comm = forest.comm();
+    let me = comm.rank();
+    let mut union: Vec<ForestLeaf> = comm.allgatherv(&forest.local);
+    union.sort();
+    let dirs = kind.directions();
+    let mut out = Vec::new();
+    for l in &forest.local {
+        for &(dx, dy, dz) in &dirs {
+            let Some(n) = forest.neighbor(l, dx, dy, dz) else {
+                continue;
+            };
+            if let Some(i) = find_containing_in(&union, &n) {
+                if union[i].oct.level + 1 < l.oct.level {
+                    out.push(violation(
+                        NAME,
+                        me,
+                        format!(
+                            "2:1 violated across the forest: leaf {l:?} (level {}) \
+                             touches {:?} (level {}) in direction ({dx},{dy},{dz})",
+                            l.oct.level, union[i], union[i].oct.level
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,105 @@
+//! Schema validation of the obs exporters fed by a checker-instrumented
+//! 4-rank run: the run manifest and the Chrome trace must parse and
+//! carry the structure downstream consumers (bench harness, trace
+//! viewers) rely on.
+
+use mesh::extract::extract_mesh;
+use obs::json::{self, Value};
+use octree::balance::BalanceKind;
+use octree::parallel::DistOctree;
+use scomm::spmd;
+
+#[test]
+fn manifest_and_trace_validate_from_checker_run() {
+    let (_, profiles) = spmd::run_traced(4, |c, rec| {
+        let mut t = DistOctree::new_uniform(c, 2);
+        t.refine(|o| {
+            let ctr = o.center_unit();
+            ctr[0] + ctr[1] < 0.8
+        });
+        t.balance(BalanceKind::Full);
+        t.partition();
+        check::guard_tree(&t, BalanceKind::Full, Some(rec));
+        let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+        check::guard_mesh(&t, &m, Some(rec));
+    });
+    assert_eq!(profiles.len(), 4);
+
+    let dir = std::env::temp_dir().join(format!("check-obs-{}", std::process::id()));
+    let session = obs::ObsSession::with_dir("check_run", &dir);
+    let written = session
+        .write(
+            &profiles,
+            Value::object([
+                ("nranks", Value::from(4u64)),
+                ("checkers", Value::from(5u64)),
+            ]),
+        )
+        .expect("session write");
+
+    // ---- run manifest -------------------------------------------------
+    let text = std::fs::read_to_string(&written.manifest).unwrap();
+    let m = json::parse(&text).expect("manifest is valid JSON");
+    assert_eq!(m.get("schema").and_then(|v| v.as_str()), Some("obs.run.v1"));
+    assert_eq!(m.get("name").and_then(|v| v.as_str()), Some("check_run"));
+    assert_eq!(m.get("nranks").and_then(|v| v.as_u64()), Some(4));
+    assert!(m.get("merged").is_some(), "manifest carries merged summary");
+    let per_rank = m
+        .get("per_rank")
+        .and_then(|v| v.as_array())
+        .expect("per_rank array");
+    assert_eq!(per_rank.len(), 4);
+    for (r, pr) in per_rank.iter().enumerate() {
+        assert_eq!(pr.get("rank").and_then(|v| v.as_u64()), Some(r as u64));
+        assert!(pr.get("summary").is_some());
+    }
+    // The checker spans must appear in the merged phase summary.
+    let phases = m.get("merged").unwrap().get("phases").expect("phases");
+    for span in ["check:tree", "check:mesh"] {
+        let p = phases
+            .get(span)
+            .unwrap_or_else(|| panic!("merged phases must include '{span}'"));
+        // One span per rank per guard call.
+        assert_eq!(p.get("count").and_then(|v| v.as_u64()), Some(4), "{span}");
+    }
+    // The extra payload round-trips.
+    let extra = m.get("extra").expect("extra");
+    assert_eq!(extra.get("nranks").and_then(|v| v.as_u64()), Some(4));
+
+    // ---- Chrome trace -------------------------------------------------
+    let text = std::fs::read_to_string(&written.trace).unwrap();
+    let t = json::parse(&text).expect("trace is valid JSON");
+    let events = t
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // One thread_name metadata record per rank.
+    let mut meta_tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+        .collect();
+    meta_tids.sort_unstable();
+    assert_eq!(meta_tids, vec![0, 1, 2, 3]);
+    // Checker spans are complete events in the "check" category, with a
+    // track per rank.
+    let mut check_tids: Vec<u64> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("cat").and_then(|c| c.as_str()) == Some("check")
+        })
+        .filter_map(|e| e.get("tid").and_then(|t| t.as_u64()))
+        .collect();
+    check_tids.sort_unstable();
+    check_tids.dedup();
+    assert_eq!(check_tids, vec![0, 1, 2, 3], "check spans on every rank");
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) == Some("X") {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(e.get("dur").and_then(|v| v.as_f64()).is_some());
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

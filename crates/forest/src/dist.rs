@@ -382,6 +382,10 @@ impl<'c> Forest<'c> {
             }
             self.update_markers();
         }
+        #[cfg(debug_assertions)]
+        if scomm::checks_enabled() {
+            assert!(self.validate(), "forest invariants violated after balance");
+        }
         self.global_count() - before
     }
 
@@ -430,6 +434,13 @@ impl<'c> Forest<'c> {
         }
         self.local = new_local;
         self.update_markers();
+        #[cfg(debug_assertions)]
+        if scomm::checks_enabled() {
+            assert!(
+                self.validate(),
+                "forest invariants violated after partition"
+            );
+        }
         PartitionPlan {
             send_ranges,
             new_len: self.local.len(),

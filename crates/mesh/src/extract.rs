@@ -662,6 +662,23 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
     let mut dof_keys = owned_keys.clone();
     dof_keys.extend(ghost_pairs.iter().map(|&(_, k)| k));
 
+    // Hanging-node rows are convex combinations: weights in (0,1]
+    // summing to 1. O(local); the cross-rank consistency checks live in
+    // the `check` crate.
+    #[cfg(debug_assertions)]
+    if scomm::checks_enabled() {
+        for (i, res) in node_table.iter().enumerate() {
+            if let NodeResolution::Constrained(terms) = res {
+                let sum: f64 = terms.iter().map(|t| t.1).sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9 && terms.iter().all(|t| t.1 > 0.0 && t.1 <= 1.0),
+                    "constraint row for node {:#x} is not a partition of unity: {terms:?}",
+                    node_keys[i]
+                );
+            }
+        }
+    }
+
     Mesh {
         domain,
         elements: tree.local.clone(),

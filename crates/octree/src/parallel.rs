@@ -241,6 +241,10 @@ impl<'c> DistOctree<'c> {
             }
             self.update_markers();
         }
+        #[cfg(debug_assertions)]
+        if scomm::checks_enabled() {
+            assert!(self.validate(), "octree invariants violated after balance");
+        }
         self.global_count() - before
     }
 
@@ -278,6 +282,13 @@ impl<'c> DistOctree<'c> {
         }
         self.local = new_local;
         self.update_markers();
+        #[cfg(debug_assertions)]
+        if scomm::checks_enabled() {
+            assert!(
+                self.validate(),
+                "octree invariants violated after partition"
+            );
+        }
         PartitionPlan {
             send_ranges,
             new_len: self.local.len(),
@@ -292,18 +303,20 @@ impl<'c> DistOctree<'c> {
         let me = self.comm.rank();
         // Send each boundary leaf to every rank owning an adjacent region.
         let mut outgoing: Vec<Vec<Octant>> = vec![Vec::new(); p];
+        // Per-leaf dedup of destination ranks. A leaf's 26 neighbor
+        // regions can span arbitrarily many ranks when the curve is
+        // finely partitioned, so this must not be a fixed-size buffer.
+        let mut sent_to: Vec<usize> = Vec::new();
         for o in &self.local {
-            let mut sent_to = [usize::MAX; 32];
-            let mut n_sent = 0;
+            sent_to.clear();
             for (dx, dy, dz) in Octant::neighbor_directions() {
                 let Some(n) = o.neighbor(dx, dy, dz) else {
                     continue;
                 };
                 let (rlo, rhi) = self.owner_range(&n);
                 for r in rlo..=rhi.min(p - 1) {
-                    if r != me && !sent_to[..n_sent].contains(&r) {
-                        sent_to[n_sent] = r;
-                        n_sent += 1;
+                    if r != me && !sent_to.contains(&r) {
+                        sent_to.push(r);
                         outgoing[r].push(*o);
                     }
                 }

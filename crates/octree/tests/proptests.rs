@@ -95,4 +95,44 @@ proptest! {
         linearize(&mut v);
         prop_assert!(is_valid_linear(&v));
     }
+
+    #[test]
+    fn neighbor_of_neighbor_is_identity(
+        o in arb_octant(MAX_LEVEL),
+        dx in -1i32..=1, dy in -1i32..=1, dz in -1i32..=1,
+    ) {
+        // Same-size neighbors are symmetric: stepping back returns the
+        // original octant. (The all-zero direction is the identity and
+        // not a neighbor direction; skip it.)
+        if (dx, dy, dz) != (0, 0, 0) {
+            if let Some(n) = o.neighbor(dx, dy, dz) {
+                prop_assert_eq!(n.level, o.level);
+                prop_assert_eq!(n.neighbor(-dx, -dy, -dz), Some(o));
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_balance_is_idempotent(seed in any::<u64>()) {
+        // BalanceTree at 2 ranks: a second pass must be a global no-op
+        // and the result must satisfy the distributed invariants.
+        let added = scomm::spmd::run(2, |c| {
+            let mut t = octree::parallel::DistOctree::new_uniform(c, 1);
+            let mut h = seed;
+            for _ in 0..3 {
+                t.refine(|o| {
+                    h = h.wrapping_mul(6364136223846793005).wrapping_add(o.key());
+                    o.level < 5 && h % 7 == 0
+                });
+            }
+            t.balance(octree::balance::BalanceKind::Full);
+            t.partition();
+            let second = t.balance(octree::balance::BalanceKind::Full);
+            (t.validate(), second)
+        });
+        for (valid, second) in added {
+            prop_assert!(valid, "distributed invariants must hold after balance");
+            prop_assert_eq!(second, 0, "second BalanceTree pass must add nothing");
+        }
+    }
 }

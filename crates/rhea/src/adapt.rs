@@ -135,6 +135,13 @@ pub fn adapt_mesh(
     // BalanceTree.
     let balance_added = rec.with_cat("BalanceTree", "amr", || tree.balance(BalanceKind::Full));
 
+    // Stage guard: the tree invariants (order, partition, 2:1) must hold
+    // before anything downstream consumes the adapted tree.
+    #[cfg(debug_assertions)]
+    if scomm::checks_enabled() {
+        check::guard_tree(tree, BalanceKind::Full, Some(rec));
+    }
+
     // Intermediate ExtractMesh (pre-partition) for interpolation.
     let mid_mesh = rec.with_cat("ExtractMesh", "amr", || extract_mesh(tree, domain));
 
@@ -180,6 +187,14 @@ pub fn adapt_mesh(
 
     // Final ExtractMesh on the new partition.
     let new_mesh = rec.with_cat("ExtractMesh", "amr", || extract_mesh(tree, domain));
+
+    // Stage guard: repartitioned tree + extracted mesh (ghost symmetry,
+    // hanging-node constraints, dof numbering) before fields land on it.
+    #[cfg(debug_assertions)]
+    if scomm::checks_enabled() {
+        check::guard_tree(tree, BalanceKind::Full, Some(rec));
+        check::guard_mesh(tree, &new_mesh, Some(rec));
+    }
 
     // Unpack: every owned dof appears as the corner of some local
     // element; take its value from the first match.

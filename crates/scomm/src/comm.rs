@@ -17,11 +17,12 @@ use std::sync::{Arc, Barrier, Mutex};
 
 use obs::Recorder;
 
+use crate::fault::{FaultCounters, FaultPlan, FaultState};
 use crate::pod::{as_bytes, from_bytes, Pod};
 use crate::stats::CommStats;
 
 /// A point-to-point message in flight.
-struct Message {
+pub(crate) struct Message {
     src: usize,
     tag: u64,
     bytes: Vec<u8>,
@@ -80,6 +81,7 @@ impl World {
             pending: RefCell::new(VecDeque::new()),
             stats: RefCell::new(CommStats::default()),
             rec: RefCell::new(None),
+            fault: RefCell::new(None),
         }
     }
 }
@@ -96,6 +98,10 @@ pub struct Comm {
     /// Optional telemetry recorder; when attached, every communication op
     /// emits a `comm`-category span and message sizes feed a histogram.
     rec: RefCell<Option<Recorder>>,
+    /// Optional adversarial scheduler (see [`crate::fault`]); when attached,
+    /// p2p deliveries pass through a seeded jitter buffer and collectives
+    /// stagger their entry.
+    fault: RefCell<Option<FaultState<Message>>>,
 }
 
 impl Comm {
@@ -149,6 +155,74 @@ impl Comm {
     }
 
     // ----------------------------------------------------------------
+    // Fault injection
+    // ----------------------------------------------------------------
+
+    /// Attach (or with `None`, detach) a seeded adversarial scheduler.
+    /// While attached, point-to-point deliveries on *this rank* pass
+    /// through a deterministic jitter buffer (delay / reorder /
+    /// drop-with-panic) and collective entries may stagger. Typically
+    /// every rank attaches the same plan right after `spmd::run` starts.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault.borrow_mut() = plan.map(|p| FaultState::new(p, self.rank));
+    }
+
+    /// What the fault scheduler did so far (`None` when no plan attached).
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.fault.borrow().as_ref().map(|f| f.counters)
+    }
+
+    /// Pull the next message off the wire, through the fault scheduler when
+    /// one is attached. Deadlock-free: the virtual clock only advances when
+    /// the real inbox is empty, so every held message is eventually
+    /// released without requiring further traffic.
+    fn pull_message(&self) -> Message {
+        let mut fault = self.fault.borrow_mut();
+        let Some(fs) = fault.as_mut() else {
+            drop(fault);
+            return self
+                .inbox
+                .recv()
+                .expect("all senders hung up while waiting for a message");
+        };
+        loop {
+            // Admit everything already arrived without blocking.
+            while let Ok(m) = self.inbox.try_recv() {
+                let (src, tag) = (m.src, m.tag);
+                fs.admit(src, tag, m);
+            }
+            if let Some(m) = fs.pop_ready() {
+                return m;
+            }
+            if fs.is_drained() {
+                // Nothing buffered: block for the next real arrival.
+                let m = self
+                    .inbox
+                    .recv()
+                    .expect("all senders hung up while waiting for a message");
+                let (src, tag) = (m.src, m.tag);
+                fs.admit(src, tag, m);
+            } else {
+                // Buffered but not yet released and nothing new arriving:
+                // advance the virtual clock to the earliest release.
+                fs.tick_to_next_release();
+            }
+        }
+    }
+
+    /// Seeded stagger before entering a collective rendezvous.
+    fn maybe_stagger(&self) {
+        let yields = self
+            .fault
+            .borrow_mut()
+            .as_mut()
+            .map_or(0, |f| f.collective_stagger());
+        for _ in 0..yields {
+            std::thread::yield_now();
+        }
+    }
+
+    // ----------------------------------------------------------------
     // Point-to-point
     // ----------------------------------------------------------------
 
@@ -183,10 +257,7 @@ impl Comm {
             }
         }
         loop {
-            let msg = self
-                .inbox
-                .recv()
-                .expect("all senders hung up while waiting for a message");
+            let msg = self.pull_message();
             if msg.src == src && msg.tag == tag {
                 return from_bytes(&msg.bytes);
             }
@@ -206,7 +277,7 @@ impl Comm {
             }
         }
         loop {
-            let msg = self.inbox.recv().expect("all senders hung up");
+            let msg = self.pull_message();
             if msg.tag == tag {
                 return (msg.src, from_bytes(&msg.bytes));
             }
@@ -228,6 +299,7 @@ impl Comm {
     /// Synchronize all ranks.
     pub fn barrier(&self) {
         let _t = self.op_span("comm:barrier");
+        self.maybe_stagger();
         self.stats.borrow_mut().barriers += 1;
         self.world.barrier.wait();
     }
@@ -242,6 +314,7 @@ impl Comm {
     /// rank order, on all ranks.
     pub fn allgatherv<T: Pod>(&self, data: &[T]) -> Vec<T> {
         let _t = self.op_span("comm:allgatherv");
+        self.maybe_stagger();
         let world = &self.world;
         {
             let mut slot = world.slots[self.rank].lock().unwrap();
@@ -327,6 +400,7 @@ impl Comm {
     /// Broadcast `data` from `root` to all ranks.
     pub fn bcast<T: Pod>(&self, root: usize, data: &[T]) -> Vec<T> {
         let _t = self.op_span("comm:bcast");
+        self.maybe_stagger();
         let world = &self.world;
         if self.rank == root {
             let mut slot = world.slots[root].lock().unwrap();
@@ -355,6 +429,7 @@ impl Comm {
         let _t = self.op_span("comm:alltoallv");
         let p = self.size();
         assert_eq!(outgoing.len(), p, "alltoallv needs one payload per rank");
+        self.maybe_stagger();
         let world = &self.world;
         let mut sent_bytes = 0u64;
         for (dst, payload) in outgoing.iter().enumerate() {
@@ -545,5 +620,88 @@ mod tests {
         });
         assert_eq!(out[0].0, vec![9]);
         assert_eq!(out[0].1, 4.0);
+    }
+
+    #[test]
+    fn fault_injection_preserves_p2p_semantics() {
+        // Under aggressive delay/reorder, tag- and source-matched receives
+        // must still return exactly the right payloads: many-to-one with
+        // mixed tags, received in an adversarial order.
+        use crate::fault::FaultPlan;
+        let p = 5;
+        let out = spmd::run(p, move |c| {
+            c.set_fault_plan(Some(FaultPlan::delays(0xfeed)));
+            if c.rank() == 0 {
+                let mut sum = 0u64;
+                // Receive low tags first even though they interleave.
+                for tag in [1u64, 2, 3] {
+                    for src in 1..c.size() {
+                        let v = c.recv::<u64>(src, tag);
+                        assert_eq!(v, vec![(src as u64) * 100 + tag]);
+                        sum += v[0];
+                    }
+                }
+                let delayed = c.fault_counters().unwrap().delayed;
+                c.set_fault_plan(None);
+                (sum, delayed)
+            } else {
+                for tag in [3u64, 1, 2] {
+                    c.send(0, tag, &[(c.rank() as u64) * 100 + tag]);
+                }
+                c.set_fault_plan(None);
+                (0, 0)
+            }
+        });
+        let expect: u64 = (1..p as u64).map(|s| 3 * s * 100 + 6).sum();
+        assert_eq!(out[0].0, expect);
+        assert!(out[0].1 > 0, "the plan must actually delay something");
+    }
+
+    #[test]
+    fn fault_injection_collectives_unaffected_by_stagger() {
+        use crate::fault::FaultPlan;
+        let out = spmd::run(4, |c| {
+            c.set_fault_plan(Some(FaultPlan::delays(7)));
+            let g = c.allgather_u64(c.rank() as u64);
+            let s = c.allreduce_sum(&[1.0f64])[0];
+            let outgoing: Vec<Vec<u64>> =
+                (0..c.size()).map(|d| vec![(c.rank() + d) as u64]).collect();
+            let inc = c.alltoallv(&outgoing);
+            c.set_fault_plan(None);
+            (g, s, inc)
+        });
+        for (me, (g, s, inc)) in out.iter().enumerate() {
+            assert_eq!(g, &vec![0, 1, 2, 3]);
+            assert_eq!(*s, 4.0);
+            for (src, payload) in inc.iter().enumerate() {
+                assert_eq!(payload, &vec![(src + me) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_runs() {
+        // The same seed must produce the same per-rank fault counters.
+        use crate::fault::FaultPlan;
+        let run_once = || {
+            spmd::run(4, |c| {
+                c.set_fault_plan(Some(FaultPlan::delays(99)));
+                let next = (c.rank() + 1) % c.size();
+                let prev = (c.rank() + c.size() - 1) % c.size();
+                for round in 0..20u64 {
+                    c.send(next, round % 3, &[round]);
+                    let v = c.recv::<u64>(prev, round % 3);
+                    assert_eq!(v, vec![round]);
+                    c.barrier();
+                }
+                let counters = c.fault_counters().unwrap();
+                c.set_fault_plan(None);
+                counters
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| f.admitted == 20));
     }
 }

@@ -1,0 +1,26 @@
+//! Global switch for the embedded runtime invariant checks.
+//!
+//! The distributed data structures (octree, forest, mesh) carry optional
+//! self-checks at the end of their collective mutations. Those checks are
+//! collective and O(global) in the worst case, so they are compiled only
+//! into debug builds (`#[cfg(debug_assertions)]` at each call site) *and*
+//! gated at runtime on `CHECK_INVARIANTS=1` — a plain `cargo test` stays
+//! fast, `CHECK_INVARIANTS=1 cargo test` verifies every intermediate
+//! structure, and a release build pays nothing at all.
+//!
+//! The environment is read once per process; flipping the variable
+//! mid-run has no effect (the checks must agree across ranks, and ranks
+//! of the simulated machine share the process environment).
+
+use std::sync::OnceLock;
+
+/// True when `CHECK_INVARIANTS` is set to `1`/`true`/`on` in the
+/// process environment.
+pub fn checks_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("CHECK_INVARIANTS")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on"))
+            .unwrap_or(false)
+    })
+}

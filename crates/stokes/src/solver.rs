@@ -301,6 +301,14 @@ impl<'a> StokesSolver<'a> {
                 self.options.max_iter,
                 |a, b| self.dot(a, b),
                 |_iter, res| {
+                    #[cfg(debug_assertions)]
+                    if scomm::checks_enabled() {
+                        assert!(
+                            res.is_finite(),
+                            "MINRES residual became non-finite at iteration {_iter} \
+                             (corrupt assembly or exchange upstream)"
+                        );
+                    }
                     if let Some(r) = rec.as_ref() {
                         r.push_series("minres.residual", res);
                     }

@@ -13,4 +13,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Same suite with the distributed invariant checkers armed: stage
+# guards in octree/forest/mesh/rhea self-validate after every AMR
+# phase. Debug builds only — release builds compile the guards out.
+echo "==> CHECK_INVARIANTS=1 cargo test -q --workspace"
+CHECK_INVARIANTS=1 cargo test -q --workspace
+
+# Fault-injection smoke (~seconds, bounded well under 2 minutes): the
+# AMR pipeline under a seeded adversarial message schedule, plus the
+# scomm fault-layer unit tests.
+echo "==> fault-injection smoke"
+timeout 120 cargo test -q -p check --test fault_smoke
+timeout 120 cargo test -q -p scomm fault_injection
+
 echo "ci: all green"

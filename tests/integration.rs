@@ -225,3 +225,101 @@ fn machine_model_behaviour() {
     assert!(t64 > 0.0 && t16k > t64);
     assert!(m.t_fem_flops(2e9) > m.t_fem_flops(1e9));
 }
+
+/// Differential P-vs-1 run of one full rhea AMR + Stokes-solve cycle:
+/// the refined tree must be bitwise identical at P=1 and P=4, and the
+/// MINRES residual history must match under the band contract that a
+/// rank-local AMG preconditioner actually guarantees (same initial
+/// residual to the percent level, convergence at both rank counts,
+/// iteration counts in a narrow band — the paper's Fig. 2 claim).
+#[test]
+fn rhea_amr_solve_cycle_is_rank_count_independent() {
+    // (refined, elements_after, packed global leaves, residual series)
+    type RunResult = (u64, u64, Vec<u64>, Vec<f64>);
+    let run_at = |p: usize| -> RunResult {
+        let mut out = spmd::run(p, |c| {
+            let rec = obs::Recorder::new(c.rank());
+            c.set_recorder(rec.clone());
+            let mut tree = DistOctree::new_uniform(c, 2);
+            let mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
+            // Seeded, rank-independent indicator: a Gaussian blob.
+            let ind: Vec<f64> = mesh
+                .elements
+                .iter()
+                .map(|o| {
+                    let ctr = o.center_unit();
+                    (-((ctr[0] - 0.3).powi(2) + (ctr[1] - 0.6).powi(2)) * 40.0).exp()
+                })
+                .collect();
+            let t: Vec<f64> = (0..mesh.n_owned).map(|d| mesh.dof_coords(d)[0]).collect();
+            let params = rhea::adapt::AdaptParams {
+                target_elements: 400,
+                max_level: 4,
+                // Pin the floor at the seed level and disable coarsening:
+                // family coarsening is partition-local, hence legitimately
+                // P-dependent; everything else in the cycle is not.
+                min_level: 2,
+                coarsen_ratio: 0.0,
+                ..Default::default()
+            };
+            let (new_mesh, _fields, report) =
+                rhea::adapt::adapt_mesh(&mut tree, &mesh, &[t], &ind, &params, &rec);
+            let n = new_mesh.n_owned;
+            let bc: Vec<bool> = (0..3 * n)
+                .map(|i| new_mesh.dof_on_boundary(i / 3))
+                .collect();
+            let visc: Vec<f64> = new_mesh
+                .elements
+                .iter()
+                .map(|o| if o.center_unit()[2] > 0.5 { 1e2 } else { 1.0 })
+                .collect();
+            let mut s = stokes::StokesSolver::new(
+                &new_mesh,
+                c,
+                visc,
+                bc,
+                stokes::StokesOptions {
+                    tol: 1e-6,
+                    max_iter: 300,
+                    ..Default::default()
+                },
+            );
+            let (rhs, mut x) = s.build_rhs(|q| [0.0, 0.0, (2.0 * q[0]).sin()], |_| [0.0; 3]);
+            let info = s.solve(&rhs, &mut x);
+            assert!(info.converged, "P={}: solve must converge", c.size());
+            // Pack the global leaf set (key, level) in rank order.
+            let mut packed = Vec::with_capacity(2 * tree.local.len());
+            for o in &tree.local {
+                packed.push(o.key());
+                packed.push(o.level as u64);
+            }
+            let leaves = c.allgatherv(&packed);
+            let series = rec
+                .profile()
+                .series
+                .get("minres.residual")
+                .cloned()
+                .unwrap_or_default();
+            (report.refined, report.elements_after, leaves, series)
+        });
+        out.swap_remove(0) // globals agree on every rank; take rank 0's
+    };
+    let (ref1, after1, leaves1, series1) = run_at(1);
+    let (ref4, after4, leaves4, series4) = run_at(4);
+    assert!(ref1 > 0, "fixture must actually refine");
+    assert_eq!(ref1, ref4, "refined leaf counts must match");
+    assert_eq!(after1, after4, "global element counts must match");
+    assert_eq!(leaves1, leaves4, "global leaf sets must be identical");
+    assert!(!series1.is_empty() && !series4.is_empty());
+    let (i1, i4) = (series1.len() as f64, series4.len() as f64);
+    assert!(
+        i1.max(i4) <= 1.5 * i1.min(i4) + 5.0,
+        "MINRES iteration counts must stay in a band: {i1} vs {i4}"
+    );
+    assert!(
+        (series1[0] - series4[0]).abs() <= 0.05 * series1[0].abs(),
+        "initial residuals must agree to the percent level: {} vs {}",
+        series1[0],
+        series4[0]
+    );
+}

@@ -1,0 +1,264 @@
+//! Zero-allocation matvec pipeline benchmarks (PR 3).
+//!
+//! Measures the three hot-path optimizations against their reference
+//! implementations and writes the results to `BENCH_pr3.json`:
+//!
+//! * tensor-product derivative kernel: vectorized axpy sweeps vs the
+//!   scalar reference (`apply_tensor_batch_reference`), median ns per
+//!   element at several orders;
+//! * ghost exchange at P = 4, ncomp = 3: packed interleaved single
+//!   exchange vs per-component strided, median ns per exchange plus the
+//!   point-to-point message count per exchange;
+//! * MINRES iteration on a distributed Stokes solve at P = 4: fused
+//!   single-allreduce recurrence vs the classic schedule, median ns per
+//!   iteration, allreduces per iteration, and the steady-state workspace
+//!   allocation (bytes) of a warm repeat solve — the zero-allocation
+//!   proof.
+//!
+//! Usage: `pr3_pipeline [--smoke] [--out PATH]`. `--smoke` shrinks the
+//! sample counts so CI can exercise the full code path in seconds; the
+//! committed JSON comes from a full `--release` run (`scripts/bench.sh`).
+
+use fem::op::DofMap;
+use mangll::kernels::ElementDerivative;
+use mesh::extract::{extract_mesh, ExchangeBuffers};
+use obs::json::Value;
+use octree::balance::BalanceKind;
+use octree::parallel::DistOctree;
+use scomm::spmd;
+use std::time::Instant;
+use stokes::{StokesOptions, StokesSolver};
+
+/// Median wall time of `samples` timed calls, in nanoseconds (one
+/// untimed warmup call first).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn bench_tensor_kernels(samples: usize) -> Value {
+    let mut rows = Vec::new();
+    for p in [2usize, 4, 6] {
+        let ed = ElementDerivative::new(p);
+        let n3 = ed.n3();
+        let nelem = (500_000 / n3).clamp(8, 2048);
+        let u: Vec<f64> = (0..n3 * nelem)
+            .map(|i| ((i * 2654435761 + 7) % 1000) as f64 / 999.0)
+            .collect();
+        let mut out = vec![0.0; 3 * n3 * nelem];
+        let t_vec = median_ns(samples, || ed.apply_tensor_batch(&u, &mut out, nelem));
+        let t_ref = median_ns(samples, || {
+            ed.apply_tensor_batch_reference(&u, &mut out, nelem)
+        });
+        let per_elem = nelem as f64;
+        println!(
+            "tensor p={p}: vectorized {:.0} ns/elem, reference {:.0} ns/elem, speedup {:.2}x",
+            t_vec / per_elem,
+            t_ref / per_elem,
+            t_ref / t_vec
+        );
+        rows.push(Value::object([
+            ("p", Value::from(p)),
+            ("elements", Value::from(nelem)),
+            ("vectorized_ns_per_elem", Value::from(t_vec / per_elem)),
+            ("reference_ns_per_elem", Value::from(t_ref / per_elem)),
+            ("speedup", Value::from(t_ref / t_vec)),
+        ]));
+    }
+    Value::array(rows)
+}
+
+fn bench_ghost_exchange(samples: usize) -> Value {
+    let out = spmd::run(4, move |c| {
+        let mut t = DistOctree::new_uniform(c, 3);
+        t.refine(|o| o.center_unit()[0] < 0.4);
+        t.balance(BalanceKind::Full);
+        t.partition();
+        let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+        let map = DofMap::new(&m, c, 3);
+        let owned: Vec<f64> = (0..map.n_owned())
+            .map(|i| ((i * 31 + 11) % 997) as f64 / 997.0)
+            .collect();
+
+        // Message counts for a single forward exchange, each flavor.
+        let s0 = c.stats();
+        let strided_once = map.to_local(&owned);
+        let s1 = c.stats();
+        let mut packed = Vec::new();
+        let mut buf = ExchangeBuffers::new();
+        map.to_local_into(&owned, &mut packed, &mut buf);
+        let s2 = c.stats();
+        assert_eq!(strided_once, packed);
+        let strided_msgs = s1.p2p_messages - s0.p2p_messages;
+        let packed_msgs = s2.p2p_messages - s1.p2p_messages;
+
+        let t_strided = median_ns(samples, || {
+            std::hint::black_box(map.to_local(&owned));
+        });
+        let t_packed = median_ns(samples, || {
+            map.to_local_into(&owned, &mut packed, &mut buf);
+        });
+        (
+            map.n_local() - map.n_owned(),
+            strided_msgs,
+            packed_msgs,
+            t_strided,
+            t_packed,
+        )
+    });
+    let (_, strided_msgs, packed_msgs, t_strided, t_packed) = out[0];
+    let ghosts = out.iter().map(|r| r.0).max().unwrap_or(0);
+    println!(
+        "ghost exchange P=4 ncomp=3 (max {ghosts} ghost values/rank): \
+         strided {t_strided:.0} ns ({strided_msgs} msgs), \
+         packed {t_packed:.0} ns ({packed_msgs} msgs)"
+    );
+    Value::object([
+        ("ranks", Value::from(4u64)),
+        ("ncomp", Value::from(3u64)),
+        ("strided_ns_per_exchange", Value::from(t_strided)),
+        ("packed_ns_per_exchange", Value::from(t_packed)),
+        ("speedup", Value::from(t_strided / t_packed)),
+        ("strided_p2p_msgs_per_exchange", Value::from(strided_msgs)),
+        ("packed_p2p_msgs_per_exchange", Value::from(packed_msgs)),
+    ])
+}
+
+/// One traced Stokes solve scenario: `solves` back-to-back solves of the
+/// same system on 4 ranks. Returns (total iterations, wall seconds of the
+/// *last* solve, rank-0 counters for allreduces / exchange msgs /
+/// workspace alloc bytes, summed over the solves).
+fn stokes_scenario(fused: bool, solves: usize) -> (usize, f64, u64, u64, u64) {
+    let (out, profiles) = spmd::run_traced(4, move |c, _rec| {
+        let t = DistOctree::new_uniform(c, 2);
+        let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+        let n = m.n_owned;
+        let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+        let visc = vec![1.0; m.elements.len()];
+        let opts = StokesOptions {
+            tol: 1e-8,
+            max_iter: 400,
+            fused_reductions: fused,
+            ..Default::default()
+        };
+        let mut solver = StokesSolver::new(&m, c, visc, bc, opts);
+        let (rhs, x0) = solver.build_rhs(
+            |p| [(3.0 * p[1]).sin(), (2.0 * p[2]).cos(), p[0] * p[1]],
+            |_| [0.0; 3],
+        );
+        let mut iters = 0;
+        let mut last_secs = 0.0;
+        for _ in 0..solves {
+            let mut x = x0.clone();
+            let t0 = Instant::now();
+            let info = solver.solve(&rhs, &mut x);
+            last_secs = t0.elapsed().as_secs_f64();
+            assert!(info.converged, "{info:?}");
+            iters += info.iterations;
+        }
+        (iters, last_secs)
+    });
+    let (iters, secs) = out[0];
+    let counters = &profiles[0].summary.counters;
+    let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+    (
+        iters,
+        secs,
+        get("minres.allreduces"),
+        get("minres.exchange_msgs"),
+        get("minres.alloc_bytes"),
+    )
+}
+
+fn bench_minres() -> Value {
+    // One-solve and two-solve runs per flavor: the alloc-bytes delta
+    // between them is the steady-state allocation of a warm solve.
+    let (it_f1, _, ar_f1, _, al_f1) = stokes_scenario(true, 1);
+    let (it_f2, secs_fused, ar_f2, msgs_f2, al_f2) = stokes_scenario(true, 2);
+    let (it_c1, _, ar_c1, _, _) = stokes_scenario(false, 1);
+    let (it_c2, secs_classic, ar_c2, _, _) = stokes_scenario(false, 2);
+    let fused_iters = (it_f2 - it_f1).max(1);
+    let classic_iters = (it_c2 - it_c1).max(1);
+    let fused_ar_per_iter = (ar_f2 - ar_f1) as f64 / fused_iters as f64;
+    let classic_ar_per_iter = (ar_c2 - ar_c1) as f64 / classic_iters as f64;
+    let steady_alloc = al_f2 - al_f1;
+    let fused_ns_per_iter = secs_fused * 1e9 / fused_iters as f64;
+    let classic_ns_per_iter = secs_classic * 1e9 / classic_iters as f64;
+    println!(
+        "minres P=4: fused {fused_ns_per_iter:.0} ns/iter at {fused_ar_per_iter:.2} \
+         allreduces/iter, classic {classic_ns_per_iter:.0} ns/iter at \
+         {classic_ar_per_iter:.2} allreduces/iter, warm-solve alloc {steady_alloc} bytes"
+    );
+    assert_eq!(
+        steady_alloc, 0,
+        "warm repeat solve must not grow the workspace"
+    );
+    Value::object([
+        ("ranks", Value::from(4u64)),
+        ("fused_ns_per_iter", Value::from(fused_ns_per_iter)),
+        ("classic_ns_per_iter", Value::from(classic_ns_per_iter)),
+        ("fused_allreduces_per_iter", Value::from(fused_ar_per_iter)),
+        (
+            "classic_allreduces_per_iter",
+            Value::from(classic_ar_per_iter),
+        ),
+        ("fused_iterations_warm", Value::from(fused_iters)),
+        ("classic_iterations_warm", Value::from(classic_iters)),
+        (
+            "exchange_msgs_per_iter",
+            Value::from(msgs_f2 as f64 / it_f2.max(1) as f64),
+        ),
+        ("warm_solve_alloc_bytes", Value::from(steady_alloc)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let samples = if smoke { 3 } else { 25 };
+
+    rhea_bench::banner(
+        "PR 3",
+        "Zero-allocation matvec pipeline: kernels, exchange, reductions",
+    );
+    let tensor = bench_tensor_kernels(samples);
+    let exchange = bench_ghost_exchange(samples);
+    let minres = bench_minres();
+
+    let best_speedup = tensor
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|r| r.get("speedup").and_then(|v| v.as_f64()))
+        .fold(0.0f64, f64::max);
+    let doc = Value::object([
+        ("schema", Value::from("bench.pr3.v1")),
+        ("mode", Value::from(if smoke { "smoke" } else { "full" })),
+        ("tensor_kernel", tensor),
+        ("ghost_exchange", exchange),
+        ("minres", minres),
+        ("tensor_best_speedup", Value::from(best_speedup)),
+    ]);
+    std::fs::write(&out_path, doc.to_json() + "\n").expect("write BENCH_pr3.json");
+    println!("\nwrote {out_path} (best tensor speedup {best_speedup:.2}x)");
+    if !smoke {
+        assert!(
+            best_speedup >= 1.5,
+            "tensor kernel speedup regressed below 1.5x: {best_speedup:.2}"
+        );
+    }
+}

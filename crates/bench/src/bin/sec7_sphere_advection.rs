@@ -28,35 +28,32 @@ fn main() {
     let nsteps = 20;
     let order = 2;
     let t0 = std::time::Instant::now();
-    let (out, stats) = spmd::run_with_stats(4, {
-        let conn = conn.clone();
-        move |c| {
-            let f = Forest::new_uniform(c, conn.clone(), 1);
-            let init = |q: [f64; 3]| {
-                let r = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2]).sqrt();
-                let d2 = (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
-                (-d2 / 0.05).exp()
-            };
-            let mut dg = DgAdvection::new(
-                &f,
-                DgParams {
-                    order,
-                    cfl: 0.25,
-                    ..Default::default()
-                },
-                init,
-                |q| [-q[1], q[0], 0.0], // solid-body rotation about z
-            );
-            let m0 = dg.total_mass();
-            let dt = dg.stable_dt();
-            for _ in 0..nsteps {
-                dg.step(dt);
-            }
-            let m1 = dg.total_mass();
-            let umax = dg.u.iter().cloned().fold(0.0f64, f64::max);
-            let gmax = c.allreduce_max(&[umax])[0];
-            (f.global_count(), m0, m1, gmax, dt * nsteps as f64)
+    let (out, stats) = spmd::run_with_stats(4, move |c| {
+        let f = Forest::new_uniform(c, conn.clone(), 1);
+        let init = |q: [f64; 3]| {
+            let r = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2]).sqrt();
+            let d2 = (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
+            (-d2 / 0.05).exp()
+        };
+        let mut dg = DgAdvection::new(
+            &f,
+            DgParams {
+                order,
+                cfl: 0.25,
+                ..Default::default()
+            },
+            init,
+            |q| [-q[1], q[0], 0.0], // solid-body rotation about z
+        );
+        let m0 = dg.total_mass();
+        let dt = dg.stable_dt();
+        for _ in 0..nsteps {
+            dg.step(dt);
         }
+        let m1 = dg.total_mass();
+        let umax = dg.u.iter().cloned().fold(0.0f64, f64::max);
+        let gmax = c.allreduce_max(&[umax])[0];
+        (f.global_count(), m0, m1, gmax, dt * nsteps as f64)
     });
     let wall = t0.elapsed().as_secs_f64();
     let (n_elem, m0, m1, umax, t_sim) = out[0];

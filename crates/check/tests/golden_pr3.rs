@@ -1,0 +1,174 @@
+//! Golden contracts for the zero-allocation matvec pipeline:
+//!
+//! * fused MINRES with **batched** reductions (one allreduce of the whole
+//!   scalar batch) is bitwise identical to the same algorithm issuing one
+//!   reduction per scalar — the batching is a pure communication
+//!   optimization;
+//! * the **packed interleaved** ghost exchange and reverse accumulation
+//!   are bitwise identical to the strided per-component reference path.
+//!
+//! Both run under [`check::run_differential`] at P ∈ {1, 4} so the
+//! contracts are exercised serially and with real ghost traffic.
+
+use check::{run_differential, DiffOptions, Fingerprint};
+use fem::element::stiffness_matrix;
+use fem::op::{DistOp, DofMap};
+use la::minres_fused;
+use mesh::extract::{extract_mesh, ExchangeBuffers, Mesh};
+use octree::balance::BalanceKind;
+use octree::parallel::DistOctree;
+use scomm::Comm;
+
+/// Seeded AMR fixture shared by both golden tests.
+fn fixture(c: &Comm) -> (DistOctree<'_>, Mesh) {
+    let mut t = DistOctree::new_uniform(c, 2);
+    t.refine(|o| {
+        let ctr = o.center_unit();
+        (ctr[0] - 0.3).powi(2) + (ctr[1] - 0.4).powi(2) + (ctr[2] - 0.5).powi(2) < 0.1
+    });
+    t.balance(BalanceKind::Full);
+    t.partition();
+    let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+    (t, m)
+}
+
+fn fingerprint_of(t: &DistOctree, m: &Mesh) -> (Vec<(u32, u64, u8)>, Vec<u64>, Vec<(String, u64)>) {
+    let leaves = t.local.iter().map(|o| (0u32, o.key(), o.level)).collect();
+    let node_keys = m.dof_keys[..m.n_owned].to_vec();
+    let counts = vec![
+        ("elements".to_string(), t.global_count()),
+        ("dofs".to_string(), m.n_global),
+    ];
+    (leaves, node_keys, counts)
+}
+
+#[test]
+fn fused_minres_batched_reductions_are_bitwise_identical() {
+    let opts = DiffOptions {
+        series_rel_tol: 1e-6,
+        series_len_slack: 1,
+    };
+    let result = run_differential(&[1, 4], &opts, |c| {
+        let (t, m) = fixture(c);
+        let (leaves, node_keys, counts) = fingerprint_of(&t, &m);
+        let map = DofMap::new(&m, c, 1);
+        let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
+        let mref = &m;
+        let src = move |e: usize, out: &mut [f64]| {
+            let k = stiffness_matrix(mref.element_size(e), 1.0);
+            for i in 0..8 {
+                for j in 0..8 {
+                    out[i * 8 + j] = k[i][j];
+                }
+            }
+        };
+        let op = DistOp::new(&map, Box::new(src), Some(&bc));
+        let mut rhs: Vec<f64> = (0..m.n_owned)
+            .map(|d| {
+                let p = m.dof_coords(d);
+                (3.0 * p[0]).sin() + p[1] * p[2]
+            })
+            .collect();
+        for (d, &isbc) in bc.iter().enumerate() {
+            if isbc {
+                rhs[d] = 0.0;
+            }
+        }
+
+        // Same fused algorithm, two reduction schedules: one batched
+        // allreduce per iteration vs one allreduce per scalar.
+        let run = |batched: bool| {
+            let mut x = vec![0.0; m.n_owned];
+            let mut series = Vec::new();
+            let info = if batched {
+                minres_fused(
+                    &op,
+                    None::<&la::Csr>,
+                    &rhs,
+                    &mut x,
+                    1e-8,
+                    500,
+                    &map,
+                    |_, r| series.push(r),
+                )
+            } else {
+                minres_fused(
+                    &op,
+                    None::<&la::Csr>,
+                    &rhs,
+                    &mut x,
+                    1e-8,
+                    500,
+                    |a: &[f64], b: &[f64]| map.dot(a, b),
+                    |_, r| series.push(r),
+                )
+            };
+            assert!(info.converged, "golden fixture must converge: {info:?}");
+            (x, series)
+        };
+        let (x_batched, s_batched) = run(true);
+        let (x_separate, s_separate) = run(false);
+        assert_eq!(
+            s_batched, s_separate,
+            "batched reductions must leave the residual series bitwise unchanged"
+        );
+        assert_eq!(
+            x_batched, x_separate,
+            "batched reductions must leave the solution bitwise unchanged"
+        );
+
+        Fingerprint {
+            leaves,
+            node_keys,
+            counts,
+            series: vec![("minres.fused.residual".to_string(), s_batched)],
+        }
+    });
+    result.unwrap_or_else(|errs| panic!("differential mismatches:\n{}", errs.join("\n")));
+}
+
+#[test]
+fn packed_exchange_is_bitwise_identical_to_strided() {
+    let result = run_differential(&[1, 4], &DiffOptions::default(), |c| {
+        let (t, m) = fixture(c);
+        let (leaves, node_keys, counts) = fingerprint_of(&t, &m);
+        let map = DofMap::new(&m, c, 3);
+
+        // Owned values keyed off the global dof id, so the expected ghost
+        // values are rank-count independent.
+        let mut owned = vec![0.0; map.n_owned()];
+        for d in 0..m.n_owned {
+            let gid = m.global_offset + d as u64;
+            for k in 0..3 {
+                owned[3 * d + k] = gid as f64 * 1e-3 + k as f64;
+            }
+        }
+        let strided = map.to_local(&owned);
+        let mut packed = Vec::new();
+        let mut buf = ExchangeBuffers::new();
+        map.to_local_into(&owned, &mut packed, &mut buf);
+        assert_eq!(
+            strided, packed,
+            "packed interleaved exchange must fill ghosts bitwise identically"
+        );
+
+        // Reverse accumulation of a deterministic owned+ghost vector.
+        let seed = |i: usize| ((i.wrapping_mul(2654435761)) % 1000) as f64 / 7.0 - 60.0;
+        let mut w_strided: Vec<f64> = (0..map.n_local()).map(seed).collect();
+        let mut w_packed = w_strided.clone();
+        map.reverse_accumulate(&mut w_strided);
+        map.reverse_accumulate_with(&mut w_packed, &mut buf);
+        assert_eq!(
+            w_strided, w_packed,
+            "packed reverse accumulation must match the strided path bitwise"
+        );
+
+        Fingerprint {
+            leaves,
+            node_keys,
+            counts,
+            series: Vec::new(),
+        }
+    });
+    result.unwrap_or_else(|errs| panic!("differential mismatches:\n{}", errs.join("\n")));
+}

@@ -176,11 +176,7 @@ mod tests {
             };
             let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
             let a = assemble_owned_block(&map, &src, Some(&bc));
-            let op = DistOp {
-                map: &map,
-                elem_matrix: Box::new(src),
-                bc_mask: Some(&bc),
-            };
+            let op = DistOp::new(&map, Box::new(src), Some(&bc));
             // Compare A·eᵢ on a few basis vectors.
             let n = m.n_owned;
             for d in (0..n).step_by((n / 17).max(1)) {
@@ -230,11 +226,7 @@ mod tests {
             // True diagonal via matrix-free: diag_i = eᵢᵀ A eᵢ... cheaper:
             // apply A to the all-ones-per-dof probe is wrong; use the
             // standard trick of assembling the diagonal by element loops:
-            let op = DistOp {
-                map: &map,
-                elem_matrix: Box::new(src),
-                bc_mask: None,
-            };
+            let op = DistOp::new(&map, Box::new(src), None);
             // For a handful of owned dofs, compare eᵢᵀ A eᵢ.
             let n = m.n_owned;
             for d in (0..n).step_by((n / 11).max(1)) {

@@ -7,9 +7,60 @@
 //! contributions back to their owners — the standard parallel FEM
 //! operator pipeline the paper's MINRES relies on.
 
+use std::cell::{Cell, RefCell};
+
 use la::LinearOp;
-use mesh::extract::{Mesh, NodeResolution};
+use mesh::extract::{ExchangeBuffers, Mesh, NodeResolution};
 use scomm::Comm;
+
+/// Clear and re-zero a reusable buffer without shrinking its allocation.
+#[inline]
+fn reset(buf: &mut Vec<f64>, n: usize) {
+    buf.clear();
+    buf.resize(n, 0.0);
+}
+
+/// Reusable scratch for the distributed operator pipeline: owned and
+/// owned+ghost vectors, element scratch, and ghost-exchange pack/unpack
+/// buffers. Grow-only — after the first application every buffer is
+/// recycled, so steady-state operator applies perform zero heap
+/// allocations (verifiable through [`Workspace::capacity_bytes`]).
+#[derive(Default)]
+pub struct Workspace {
+    /// BC-masked copy of the input (owned layout).
+    xw: Vec<f64>,
+    /// Owned+ghost expansion of the input.
+    xl: Vec<f64>,
+    /// Owned+ghost accumulation target.
+    yl: Vec<f64>,
+    /// Row-major element matrix scratch.
+    mat: Vec<f64>,
+    /// Element-local input/output vectors.
+    ue: Vec<f64>,
+    re: Vec<f64>,
+    /// Ghost-exchange pack/unpack buffers.
+    exch: ExchangeBuffers,
+}
+
+impl Workspace {
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Total heap capacity currently held, in bytes. The per-apply delta
+    /// of this value is the operator's allocation count: zero once the
+    /// buffers have reached steady state.
+    pub fn capacity_bytes(&self) -> u64 {
+        ((self.xw.capacity()
+            + self.xl.capacity()
+            + self.yl.capacity()
+            + self.mat.capacity()
+            + self.ue.capacity()
+            + self.re.capacity())
+            * std::mem::size_of::<f64>()) as u64
+            + self.exch.capacity_bytes()
+    }
+}
 
 /// Dof-map helper bundling the mesh and communicator.
 pub struct DofMap<'a> {
@@ -59,6 +110,36 @@ impl<'a> DofMap<'a> {
         v[..owned.len()].copy_from_slice(owned);
         self.exchange(&mut v);
         v
+    }
+
+    /// Allocation-free [`DofMap::to_local`]: expand into a reusable
+    /// owned+ghost vector using the packed interleaved exchange.
+    pub fn to_local_into(&self, owned: &[f64], v: &mut Vec<f64>, buf: &mut ExchangeBuffers) {
+        debug_assert_eq!(owned.len(), self.n_owned());
+        reset(v, self.n_local());
+        v[..owned.len()].copy_from_slice(owned);
+        self.exchange_with(v, buf);
+    }
+
+    /// Allocation-free ghost exchange: one packed interleaved message
+    /// per neighbor instead of one strided pass per component. Ghost
+    /// values are bitwise identical to [`DofMap::exchange`].
+    pub fn exchange_with(&self, v: &mut [f64], buf: &mut ExchangeBuffers) {
+        self.mesh
+            .exchange
+            .exchange_interleaved(self.comm, v, self.mesh.n_owned, self.ncomp, buf);
+    }
+
+    /// Allocation-free reverse accumulation; results are bitwise
+    /// identical to [`DofMap::reverse_accumulate`].
+    pub fn reverse_accumulate_with(&self, v: &mut [f64], buf: &mut ExchangeBuffers) {
+        self.mesh.exchange.reverse_accumulate_interleaved(
+            self.comm,
+            v,
+            self.mesh.n_owned,
+            self.ncomp,
+            buf,
+        );
     }
 
     /// Exchange ghost values of an owned+ghost vector with `ncomp`
@@ -152,18 +233,73 @@ impl<'a> DofMap<'a> {
     }
 }
 
+/// Batched globally-consistent inner products: per-pair local partial
+/// sums followed by **one** `allreduce_sum` of the whole batch. The
+/// simulated allreduce combines contributions elementwise in rank order,
+/// so each scalar of the batch is bitwise identical to what a separate
+/// [`DofMap::dot`] call would have produced — the contract the fused
+/// solvers ([`la::krylov::minres_fused`]) rely on.
+impl la::DotBatch for &DofMap<'_> {
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        DofMap::dot(self, a, b)
+    }
+
+    fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        const MAX: usize = 16;
+        assert!(pairs.len() <= MAX, "dot batch larger than {MAX}");
+        debug_assert_eq!(pairs.len(), out.len());
+        let mut locals = [0.0f64; MAX];
+        for (l, (a, b)) in locals.iter_mut().zip(pairs) {
+            debug_assert_eq!(a.len(), self.n_owned());
+            *l = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        }
+        let global = self.comm.allreduce_sum(&locals[..pairs.len()]);
+        out.copy_from_slice(&global);
+    }
+}
+
 /// A distributed symmetric operator defined by per-element matrices, with
-/// optional symmetric Dirichlet elimination.
+/// optional symmetric Dirichlet elimination. Carries its own reusable
+/// [`Workspace`], so repeated applications are allocation-free.
 pub struct DistOp<'a> {
-    pub map: &'a DofMap<'a>,
+    map: &'a DofMap<'a>,
     /// Fills the `(8·ncomp)²` row-major element matrix of element `e`.
-    pub elem_matrix: Box<dyn Fn(usize, &mut [f64]) + 'a>,
+    elem_matrix: Box<dyn Fn(usize, &mut [f64]) + 'a>,
     /// Owned-dof Dirichlet mask (length `n_owned · ncomp`); constrained
     /// entries behave as identity rows/columns.
-    pub bc_mask: Option<&'a [bool]>,
+    bc_mask: Option<&'a [bool]>,
+    ws: RefCell<Workspace>,
+    /// Cumulative workspace growth, in bytes (see [`DistOp::alloc_bytes`]).
+    grown: Cell<u64>,
 }
 
 impl<'a> DistOp<'a> {
+    pub fn new(
+        map: &'a DofMap<'a>,
+        elem_matrix: Box<dyn Fn(usize, &mut [f64]) + 'a>,
+        bc_mask: Option<&'a [bool]>,
+    ) -> DistOp<'a> {
+        DistOp {
+            map,
+            elem_matrix,
+            bc_mask,
+            ws: RefCell::new(Workspace::new()),
+            grown: Cell::new(0),
+        }
+    }
+
+    /// The dof map this operator acts on.
+    pub fn map(&self) -> &DofMap<'a> {
+        self.map
+    }
+
+    /// Cumulative bytes of workspace growth over all applications so
+    /// far. The delta across a window of applies is the heap-allocation
+    /// volume of that window: zero once buffers reached steady state.
+    pub fn alloc_bytes(&self) -> u64 {
+        self.grown.get()
+    }
+
     /// Apply `y = A x` on owned vectors.
     pub fn apply_owned(&self, x: &[f64], y: &mut [f64]) {
         let map = self.map;
@@ -172,36 +308,43 @@ impl<'a> DistOp<'a> {
         debug_assert_eq!(y.len(), n_owned);
         let nc = map.ncomp;
         let dim = 8 * nc;
+        let mut ws_ref = self.ws.borrow_mut();
+        let ws = &mut *ws_ref;
+        let cap0 = ws.capacity_bytes();
 
         // Zero BC entries of the input (symmetric elimination), expand.
-        let mut xw = x.to_vec();
+        ws.xw.clear();
+        ws.xw.extend_from_slice(x);
         if let Some(mask) = self.bc_mask {
-            for (i, &m) in mask.iter().enumerate() {
+            for (v, &m) in ws.xw.iter_mut().zip(mask) {
                 if m {
-                    xw[i] = 0.0;
+                    *v = 0.0;
                 }
             }
         }
-        let xl = map.to_local(&xw);
+        reset(&mut ws.xl, map.n_local());
+        ws.xl[..n_owned].copy_from_slice(&ws.xw);
+        map.exchange_with(&mut ws.xl, &mut ws.exch);
 
-        let mut yl = vec![0.0; map.n_local()];
-        let mut mat = vec![0.0; dim * dim];
-        let mut ue = vec![0.0; dim];
-        let mut re = vec![0.0; dim];
+        reset(&mut ws.yl, map.n_local());
+        reset(&mut ws.mat, dim * dim);
+        reset(&mut ws.ue, dim);
+        reset(&mut ws.re, dim);
         for e in 0..map.mesh.elements.len() {
-            (self.elem_matrix)(e, &mut mat);
-            map.gather_element(e, &xl, &mut ue);
-            for i in 0..dim {
+            (self.elem_matrix)(e, &mut ws.mat);
+            map.gather_element(e, &ws.xl, &mut ws.ue);
+            for (i, r) in ws.re.iter_mut().enumerate() {
+                let row = &ws.mat[i * dim..(i + 1) * dim];
                 let mut acc = 0.0;
-                for j in 0..dim {
-                    acc += mat[i * dim + j] * ue[j];
+                for (&a, &u) in row.iter().zip(ws.ue.iter()) {
+                    acc += a * u;
                 }
-                re[i] = acc;
+                *r = acc;
             }
-            map.scatter_element(e, &re, &mut yl);
+            map.scatter_element(e, &ws.re, &mut ws.yl);
         }
-        map.reverse_accumulate(&mut yl);
-        y.copy_from_slice(&yl[..n_owned]);
+        map.reverse_accumulate_with(&mut ws.yl, &mut ws.exch);
+        y.copy_from_slice(&ws.yl[..n_owned]);
         if let Some(mask) = self.bc_mask {
             for (i, &m) in mask.iter().enumerate() {
                 if m {
@@ -209,6 +352,8 @@ impl<'a> DistOp<'a> {
                 }
             }
         }
+        self.grown
+            .set(self.grown.get() + (ws.capacity_bytes() - cap0));
     }
 }
 
@@ -250,9 +395,9 @@ mod tests {
 
             let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
             let mesh_ref = &m;
-            let op = DistOp {
-                map: &map,
-                elem_matrix: Box::new(move |e, out| {
+            let op = DistOp::new(
+                &map,
+                Box::new(move |e, out: &mut [f64]| {
                     let k = stiffness_matrix(mesh_ref.element_size(e), 1.0);
                     for i in 0..8 {
                         for j in 0..8 {
@@ -260,8 +405,8 @@ mod tests {
                         }
                     }
                 }),
-                bc_mask: Some(&bc),
-            };
+                Some(&bc),
+            );
             // rhs = M f (consistent mass), assembled matrix-free.
             let mut rhs_local = vec![0.0; map.n_local()];
             let mut fe = vec![0.0; 8];
@@ -289,9 +434,7 @@ mod tests {
             }
 
             let mut u = vec![0.0; m.n_owned];
-            let info = cg(&op, None::<&la::Csr>, &rhs, &mut u, 1e-10, 2000, |a, b| {
-                map.dot(a, b)
-            });
+            let info = cg(&op, None::<&la::Csr>, &rhs, &mut u, 1e-10, 2000, &map);
             assert!(info.converged, "{info:?}");
 
             // Max-norm error at owned dofs.
@@ -326,6 +469,47 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_apply_is_allocation_free() {
+        // After the first application warms the workspace, subsequent
+        // applies must not grow any buffer.
+        spmd::run(2, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            t.refine(|o| o.center_unit()[0] < 0.4);
+            t.balance(BalanceKind::Full);
+            t.partition();
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let map = DofMap::new(&m, c, 1);
+            let mesh_ref = &m;
+            let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
+            let op = DistOp::new(
+                &map,
+                Box::new(move |e, out: &mut [f64]| {
+                    let k = stiffness_matrix(mesh_ref.element_size(e), 1.0);
+                    for i in 0..8 {
+                        for j in 0..8 {
+                            out[i * 8 + j] = k[i][j];
+                        }
+                    }
+                }),
+                Some(&bc),
+            );
+            let x: Vec<f64> = (0..m.n_owned).map(|d| (d % 7) as f64 - 3.0).collect();
+            let mut y = vec![0.0; m.n_owned];
+            op.apply_owned(&x, &mut y);
+            assert!(op.alloc_bytes() > 0, "first apply must warm the workspace");
+            let warm = op.alloc_bytes();
+            for _ in 0..5 {
+                op.apply_owned(&x, &mut y);
+            }
+            assert_eq!(
+                op.alloc_bytes(),
+                warm,
+                "steady-state applies must not allocate"
+            );
+        });
+    }
+
+    #[test]
     fn operator_is_symmetric_across_hanging_nodes() {
         spmd::run(2, |c| {
             let mut t = DistOctree::new_uniform(c, 2);
@@ -335,9 +519,9 @@ mod tests {
             let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
             let map = DofMap::new(&m, c, 1);
             let mesh_ref = &m;
-            let op = DistOp {
-                map: &map,
-                elem_matrix: Box::new(move |e, out| {
+            let op = DistOp::new(
+                &map,
+                Box::new(move |e, out: &mut [f64]| {
                     let k = stiffness_matrix(mesh_ref.element_size(e), 1.0);
                     for i in 0..8 {
                         for j in 0..8 {
@@ -345,8 +529,8 @@ mod tests {
                         }
                     }
                 }),
-                bc_mask: None,
-            };
+                None,
+            );
             // <Au, v> == <u, Av> with deterministic pseudo-random vectors
             // (consistent across ranks via global dof ids).
             let mk = |salt: u64| -> Vec<f64> {

@@ -15,6 +15,8 @@
 //! weighted-Jacobi prolongator smoothing with the spectral radius
 //! estimated by power iteration.
 
+use std::cell::RefCell;
+
 use crate::csr::Csr;
 use crate::dense::{Cholesky, Lu};
 use crate::krylov::LinearOp;
@@ -60,6 +62,17 @@ enum CoarseSolve {
     Jacobi(Csr, Vec<f64>),
 }
 
+/// Per-level V-cycle scratch (residual, restricted residual, coarse
+/// correction, prolonged correction), sized at setup so steady-state
+/// V-cycles are allocation-free.
+#[derive(Clone, Default)]
+struct CycleScratch {
+    r: Vec<f64>,
+    rc: Vec<f64>,
+    ec: Vec<f64>,
+    e: Vec<f64>,
+}
+
 /// A smoothed-aggregation AMG hierarchy for an SPD (or semi-definite)
 /// matrix.
 #[derive(Clone)]
@@ -68,6 +81,10 @@ pub struct Amg {
     coarse_a: Csr,
     coarse: CoarseSolve,
     options: AmgOptions,
+    /// One scratch set per non-coarse level; interior mutability because
+    /// `LinearOp::apply` takes `&self`. V-cycles never nest, so the
+    /// borrow is always uncontended.
+    scratch: RefCell<Vec<CycleScratch>>,
 }
 
 /// Greedy aggregation on the strength graph. Returns (aggregate id per
@@ -234,11 +251,21 @@ impl Amg {
                 }
             },
         };
+        let scratch = levels
+            .iter()
+            .map(|l| CycleScratch {
+                r: vec![0.0; l.a.nrows],
+                rc: vec![0.0; l.p.ncols],
+                ec: vec![0.0; l.p.ncols],
+                e: vec![0.0; l.a.nrows],
+            })
+            .collect();
         Amg {
             levels,
             coarse_a: current,
             coarse,
             options,
+            scratch: RefCell::new(scratch),
         }
     }
 
@@ -259,7 +286,7 @@ impl Amg {
         total as f64 / fine
     }
 
-    fn cycle(&self, level: usize, b: &[f64], x: &mut [f64]) {
+    fn cycle(&self, level: usize, b: &[f64], x: &mut [f64], scratch: &mut [CycleScratch]) {
         if level == self.levels.len() {
             match &self.coarse {
                 CoarseSolve::Cholesky(ch) => {
@@ -281,26 +308,27 @@ impl Amg {
         }
         let lvl = &self.levels[level];
         let n = lvl.a.nrows;
+        let (s, rest) = scratch
+            .split_first_mut()
+            .expect("one scratch set per level");
         // Pre-smooth.
         for _ in 0..self.options.smooth_sweeps {
             sgs_sweep(&lvl.a, &lvl.diag, b, x);
         }
-        // Residual and restriction.
-        let mut r = vec![0.0; n];
-        lvl.a.matvec(x, &mut r);
+        // Residual and restriction (scratch is fully overwritten, so
+        // reuse is bitwise-transparent; only `ec` carries state in as the
+        // coarse initial guess and is re-zeroed).
+        lvl.a.matvec(x, &mut s.r);
         for i in 0..n {
-            r[i] = b[i] - r[i];
+            s.r[i] = b[i] - s.r[i];
         }
-        let nc = lvl.p.ncols;
-        let mut rc = vec![0.0; nc];
-        lvl.r.matvec(&r, &mut rc);
+        lvl.r.matvec(&s.r, &mut s.rc);
         // Coarse correction.
-        let mut ec = vec![0.0; nc];
-        self.cycle(level + 1, &rc, &mut ec);
-        let mut e = vec![0.0; n];
-        lvl.p.matvec(&ec, &mut e);
+        s.ec.fill(0.0);
+        self.cycle(level + 1, &s.rc, &mut s.ec, rest);
+        lvl.p.matvec(&s.ec, &mut s.e);
         for i in 0..n {
-            x[i] += e[i];
+            x[i] += s.e[i];
         }
         // Post-smooth.
         for _ in 0..self.options.smooth_sweeps {
@@ -309,10 +337,12 @@ impl Amg {
     }
 
     /// Apply one V-cycle to `b` with zero initial guess: `x = B b` where
-    /// `B ≈ A⁻¹` is SPD.
+    /// `B ≈ A⁻¹` is SPD. Allocation-free: all per-level scratch was sized
+    /// during setup (the rare dense-LU coarse fallback excepted).
     pub fn vcycle(&self, b: &[f64], x: &mut [f64]) {
         x.fill(0.0);
-        self.cycle(0, b, x);
+        let mut scratch = self.scratch.borrow_mut();
+        self.cycle(0, b, x, &mut scratch);
     }
 }
 

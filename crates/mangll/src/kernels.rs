@@ -46,6 +46,10 @@ pub struct ElementDerivative {
     /// Stacked dense derivative matrix `[Dξ; Dη; Dζ]`, row-major
     /// `3n³ × n³` (matrix-based path).
     big: Vec<f64>,
+    /// Transpose of the 1D differentiation matrix (`diff_t[m·n + i] =
+    /// diff[i·n + m]`): the ξ contraction walks D by columns, and the
+    /// transposed layout turns that into unit-stride rows.
+    diff_t: Vec<f64>,
     n1: usize,
 }
 
@@ -73,7 +77,18 @@ impl ElementDerivative {
                 }
             }
         }
-        ElementDerivative { lgl, big, n1 }
+        let mut diff_t = vec![0.0; n1 * n1];
+        for i in 0..n1 {
+            for m in 0..n1 {
+                diff_t[m * n1 + i] = d[i * n1 + m];
+            }
+        }
+        ElementDerivative {
+            lgl,
+            big,
+            diff_t,
+            n1,
+        }
     }
 
     /// Nodes per element.
@@ -90,7 +105,8 @@ impl ElementDerivative {
         debug_assert_eq!(u.len(), n3 * nelem);
         debug_assert_eq!(out.len(), 3 * n3 * nelem);
         // Cache-blocked GEMM: out(e) = big · u(e); block over rows and the
-        // inner dimension.
+        // inner dimension. The inner product runs over zipped slices so
+        // the compiler can drop bounds checks and vectorize.
         const BK: usize = 64;
         for e in 0..nelem {
             let ue = &u[e * n3..(e + 1) * n3];
@@ -98,11 +114,12 @@ impl ElementDerivative {
             oe.fill(0.0);
             for k0 in (0..n3).step_by(BK) {
                 let k1 = (k0 + BK).min(n3);
+                let ub = &ue[k0..k1];
                 for (r, orow) in oe.iter_mut().enumerate() {
-                    let brow = &self.big[r * n3..(r + 1) * n3];
+                    let brow = &self.big[r * n3 + k0..r * n3 + k1];
                     let mut acc = 0.0;
-                    for k in k0..k1 {
-                        acc += brow[k] * ue[k];
+                    for (&bv, &uv) in brow.iter().zip(ub) {
+                        acc += bv * uv;
                     }
                     *orow += acc;
                 }
@@ -110,9 +127,69 @@ impl ElementDerivative {
         }
     }
 
-    /// Tensor-product path: three 1D contractions per element. Layouts as
-    /// in [`Self::apply_matrix_batch`].
+    /// Tensor-product path: three 1D contractions per element, written as
+    /// unit-stride axpy sweeps so each direction vectorizes. Per output
+    /// node the contraction still accumulates in ascending `m` order from
+    /// a zero start, so results are **bitwise identical** to the scalar
+    /// [`Self::apply_tensor_batch_reference`] (pinned by a test):
+    ///
+    /// * ∂/∂ξ — each contiguous `n`-line of the output accumulates
+    ///   `Dᵀ`-rows scaled by one input value (hence [`diff_t`]);
+    /// * ∂/∂η — each `n`-row of an `(i, j)` plane accumulates input rows
+    ///   of the same `k`-plane scaled by `D[j][m]`;
+    /// * ∂/∂ζ — each contiguous `n²`-slab accumulates input slabs scaled
+    ///   by `D[k][m]`.
+    ///
+    /// Layouts as in [`Self::apply_matrix_batch`].
+    ///
+    /// [`diff_t`]: struct.ElementDerivative.html#structfield.diff_t
     pub fn apply_tensor_batch(&self, u: &[f64], out: &mut [f64], nelem: usize) {
+        let n = self.n1;
+        let n2 = n * n;
+        let n3 = self.n3();
+        let d = &self.lgl.diff;
+        let dt = &self.diff_t;
+        for e in 0..nelem {
+            let ue = &u[e * n3..(e + 1) * n3];
+            let oe = &mut out[e * 3 * n3..(e + 1) * 3 * n3];
+            let (ox, rest) = oe.split_at_mut(n3);
+            let (oy, oz) = rest.split_at_mut(n3);
+            // ∂/∂ξ: out-line(j,k) = Σ_m u[m] · Dᵀ-row(m).
+            for (oline, uline) in ox.chunks_exact_mut(n).zip(ue.chunks_exact(n)) {
+                oline.fill(0.0);
+                for (&um, dtrow) in uline.iter().zip(dt.chunks_exact(n)) {
+                    for (o, &dv) in oline.iter_mut().zip(dtrow) {
+                        *o += dv * um;
+                    }
+                }
+            }
+            // ∂/∂η: per k-plane, out-row(j) = Σ_m D[j][m] · u-row(m).
+            for (oplane, uplane) in oy.chunks_exact_mut(n2).zip(ue.chunks_exact(n2)) {
+                oplane.fill(0.0);
+                for (orow, drow) in oplane.chunks_exact_mut(n).zip(d.chunks_exact(n)) {
+                    for (&dm, urow) in drow.iter().zip(uplane.chunks_exact(n)) {
+                        for (o, &uv) in orow.iter_mut().zip(urow) {
+                            *o += dm * uv;
+                        }
+                    }
+                }
+            }
+            // ∂/∂ζ: out-slab(k) = Σ_m D[k][m] · u-slab(m).
+            oz.fill(0.0);
+            for (oslab, drow) in oz.chunks_exact_mut(n2).zip(d.chunks_exact(n)) {
+                for (&dm, uslab) in drow.iter().zip(ue.chunks_exact(n2)) {
+                    for (o, &uv) in oslab.iter_mut().zip(uslab) {
+                        *o += dm * uv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Straightforward scalar tensor-product contraction: the readable
+    /// reference implementation the vectorized [`Self::apply_tensor_batch`]
+    /// must match bitwise. Kept for tests and benchmark baselines.
+    pub fn apply_tensor_batch_reference(&self, u: &[f64], out: &mut [f64], nelem: usize) {
         let n = self.n1;
         let n3 = self.n3();
         let d = &self.lgl.diff;
@@ -202,6 +279,23 @@ mod tests {
                     b[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn vectorized_tensor_kernel_is_bitwise_identical_to_reference() {
+        for p in [1usize, 2, 3, 4, 6] {
+            let ed = ElementDerivative::new(p);
+            let n3 = ed.n3();
+            let nelem = 5;
+            let u: Vec<f64> = (0..n3 * nelem)
+                .map(|i| ((i * 1103515245 + 12345) % 1000) as f64 / 333.0 - 1.5)
+                .collect();
+            let mut a = vec![f64::NAN; 3 * n3 * nelem];
+            let mut b = vec![f64::NAN; 3 * n3 * nelem];
+            ed.apply_tensor_batch(&u, &mut a, nelem);
+            ed.apply_tensor_batch_reference(&u, &mut b, nelem);
+            assert_eq!(a, b, "p={p}: vectorized kernel must match bitwise");
         }
     }
 

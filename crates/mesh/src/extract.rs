@@ -55,6 +55,32 @@ pub struct ExchangePattern {
     pub recv_counts: Vec<usize>,
 }
 
+/// Reusable pack/unpack buffers for the interleaved (flat) exchange
+/// paths. Grow-only: once a solver reaches steady state every call
+/// recycles the same allocations.
+#[derive(Debug, Default)]
+pub struct ExchangeBuffers {
+    send: Vec<f64>,
+    send_counts: Vec<usize>,
+    recv: Vec<f64>,
+    recv_counts: Vec<usize>,
+}
+
+impl ExchangeBuffers {
+    pub fn new() -> ExchangeBuffers {
+        ExchangeBuffers::default()
+    }
+
+    /// Total heap capacity currently held, in bytes. Allocation audits
+    /// diff this across operator applications: a zero delta proves the
+    /// exchange reused its buffers.
+    pub fn capacity_bytes(&self) -> u64 {
+        ((self.send.capacity() + self.recv.capacity()) * std::mem::size_of::<f64>()
+            + (self.send_counts.capacity() + self.recv_counts.capacity())
+                * std::mem::size_of::<usize>()) as u64
+    }
+}
+
 impl ExchangePattern {
     /// Fill the ghost block of `v` (`v.len() = n_owned + n_ghost`) with
     /// the owners' current values. Collective.
@@ -90,6 +116,74 @@ impl ExchangePattern {
             assert_eq!(part.len(), self.send_idx[r].len());
             for (&i, &val) in self.send_idx[r].iter().zip(part) {
                 v[i] += val;
+            }
+        }
+    }
+
+    /// Allocation-free ghost fill for a vector with `ncomp` interleaved
+    /// components per dof (`v[d*ncomp + k]`): one packed exchange instead
+    /// of one strided exchange per component. The ghost block is grouped
+    /// by owner rank in receive order, so the flat receive buffer copies
+    /// straight into it — ghost values are bitwise identical to the
+    /// per-component [`ExchangePattern::exchange`] path. Collective.
+    pub fn exchange_interleaved(
+        &self,
+        comm: &Comm,
+        v: &mut [f64],
+        n_owned: usize,
+        ncomp: usize,
+        buf: &mut ExchangeBuffers,
+    ) {
+        buf.send.clear();
+        buf.send_counts.clear();
+        for idx in &self.send_idx {
+            buf.send_counts.push(idx.len() * ncomp);
+            for &i in idx {
+                buf.send.extend_from_slice(&v[i * ncomp..(i + 1) * ncomp]);
+            }
+        }
+        comm.alltoallv_flat(
+            &buf.send,
+            &buf.send_counts,
+            &mut buf.recv,
+            &mut buf.recv_counts,
+        );
+        for (r, &cnt) in self.recv_counts.iter().enumerate() {
+            assert_eq!(buf.recv_counts[r], cnt * ncomp);
+        }
+        let ghost = &mut v[n_owned * ncomp..];
+        assert_eq!(ghost.len(), buf.recv.len());
+        ghost.copy_from_slice(&buf.recv);
+    }
+
+    /// Allocation-free reverse accumulation for interleaved components:
+    /// the ghost block itself is the flat send buffer (no pack pass).
+    /// Contributions accumulate into each owned entry in ascending source
+    /// rank order — the same order as the per-component
+    /// [`ExchangePattern::reverse_accumulate`] path, so results are
+    /// bitwise identical. Collective.
+    pub fn reverse_accumulate_interleaved(
+        &self,
+        comm: &Comm,
+        v: &mut [f64],
+        n_owned: usize,
+        ncomp: usize,
+        buf: &mut ExchangeBuffers,
+    ) {
+        buf.send_counts.clear();
+        buf.send_counts
+            .extend(self.recv_counts.iter().map(|&c| c * ncomp));
+        let (owned, ghost) = v.split_at_mut(n_owned * ncomp);
+        comm.alltoallv_flat(ghost, &buf.send_counts, &mut buf.recv, &mut buf.recv_counts);
+        ghost.fill(0.0);
+        let mut pos = 0;
+        for (r, idx) in self.send_idx.iter().enumerate() {
+            assert_eq!(buf.recv_counts[r], idx.len() * ncomp);
+            for &i in idx {
+                for k in 0..ncomp {
+                    owned[i * ncomp + k] += buf.recv[pos];
+                    pos += 1;
+                }
             }
         }
     }
@@ -374,8 +468,11 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
     };
 
     // Seed classification with every node referenced by local elements.
-    let mut work: Vec<NodeKey> = node_keys.clone();
-    while let Some(key) = work.pop() {
+    // Drain the seeds lazily rather than copying `node_keys` wholesale;
+    // only chained masters enter the explicit worklist.
+    let mut seeds = node_keys.iter().copied();
+    let mut work: Vec<NodeKey> = Vec::new();
+    while let Some(key) = work.pop().or_else(|| seeds.next()) {
         if one_step.contains_key(&key) {
             continue;
         }
@@ -399,44 +496,45 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
         one_step.insert(key, step);
     }
 
-    // Close local chains and collect foreign queries.
-    // expand(key) -> Expanded terms over independent keys + foreign
-    // remainders (owner, key, weight).
-    fn expand(
+    // Close local chains and collect foreign queries. `expand` memoizes
+    // each key's expansion (terms over independent keys + foreign
+    // remainders `(owner, key, weight)`) and returns a borrow of the memo
+    // entry — callers iterate it in place instead of cloning the term
+    // vectors on every lookup.
+    fn expand<'m>(
         key: NodeKey,
         one_step: &HashMap<NodeKey, OneStep>,
-        memo: &mut HashMap<NodeKey, (Vec<(NodeKey, f64)>, Vec<(usize, NodeKey, f64)>)>,
+        memo: &'m mut HashMap<NodeKey, (Vec<(NodeKey, f64)>, Vec<(usize, NodeKey, f64)>)>,
         depth: usize,
-    ) -> (Vec<(NodeKey, f64)>, Vec<(usize, NodeKey, f64)>) {
-        if let Some(hit) = memo.get(&key) {
-            return hit.clone();
-        }
-        assert!(depth < 64, "hanging-node constraint chain too deep");
-        let result = match one_step.get(&key) {
-            Some(OneStep::Independent) => (vec![(key, 1.0)], Vec::new()),
-            Some(OneStep::Hanging(terms)) => {
-                let mut indep: Vec<(NodeKey, f64)> = Vec::new();
-                let mut foreign: Vec<(usize, NodeKey, f64)> = Vec::new();
-                for &(mk, w, f) in terms {
-                    match f {
-                        Some(owner) => foreign.push((owner, mk, w)),
-                        None => {
-                            let (sub_i, sub_f) = expand(mk, one_step, memo, depth + 1);
-                            for (k2, w2) in sub_i {
-                                indep.push((k2, w * w2));
-                            }
-                            for (o2, k2, w2) in sub_f {
-                                foreign.push((o2, k2, w * w2));
+    ) -> &'m (Vec<(NodeKey, f64)>, Vec<(usize, NodeKey, f64)>) {
+        if !memo.contains_key(&key) {
+            assert!(depth < 64, "hanging-node constraint chain too deep");
+            let result = match one_step.get(&key) {
+                Some(OneStep::Independent) => (vec![(key, 1.0)], Vec::new()),
+                Some(OneStep::Hanging(terms)) => {
+                    let mut indep: Vec<(NodeKey, f64)> = Vec::new();
+                    let mut foreign: Vec<(usize, NodeKey, f64)> = Vec::new();
+                    for &(mk, w, f) in terms {
+                        match f {
+                            Some(owner) => foreign.push((owner, mk, w)),
+                            None => {
+                                let (sub_i, sub_f) = expand(mk, one_step, memo, depth + 1);
+                                for &(k2, w2) in sub_i {
+                                    indep.push((k2, w * w2));
+                                }
+                                for &(o2, k2, w2) in sub_f {
+                                    foreign.push((o2, k2, w * w2));
+                                }
                             }
                         }
                     }
+                    (indep, foreign)
                 }
-                (indep, foreign)
-            }
-            None => unreachable!("every reachable key was classified"),
-        };
-        memo.insert(key, result.clone());
-        result
+                None => unreachable!("every reachable key was classified"),
+            };
+            memo.insert(key, result);
+        }
+        memo.get(&key).expect("just inserted")
     }
 
     let mut memo: HashMap<NodeKey, (Vec<(NodeKey, f64)>, Vec<(usize, NodeKey, f64)>)> =
@@ -447,10 +545,10 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
     let mut pending: Vec<(NodeKey, usize, NodeKey, f64)> = Vec::new();
     for &key in &node_keys {
         let (indep, foreign) = expand(key, &one_step, &mut memo, 0);
-        final_terms.insert(key, indep);
-        for (o, k, w) in foreign {
+        for &(o, k, w) in foreign {
             pending.push((key, o, k, w));
         }
+        final_terms.insert(key, indep.clone());
     }
 
     // ---- Rounds: resolve foreign constraint chains -------------------
@@ -477,7 +575,7 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
         for (src, qs) in incoming.iter().enumerate() {
             for &qk in qs {
                 let (indep, foreign) = expand(qk, &one_step, &mut memo, 0);
-                for (k2, w2) in indep {
+                for &(k2, w2) in indep {
                     answers[src].push(WireTerm {
                         query: qk,
                         node: k2,
@@ -485,7 +583,7 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
                         next_owner: u64::MAX,
                     });
                 }
-                for (o2, k2, w2) in foreign {
+                for &(o2, k2, w2) in foreign {
                     answers[src].push(WireTerm {
                         query: qk,
                         node: k2,
@@ -658,8 +756,9 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
         })
         .collect();
 
-    // dof keys: owned then ghost.
-    let mut dof_keys = owned_keys.clone();
+    // dof keys: owned then ghost (`owned_keys` is not needed again, so
+    // move it instead of copying).
+    let mut dof_keys = owned_keys;
     dof_keys.extend(ghost_pairs.iter().map(|&(_, k)| k));
 
     // Hanging-node rows are convex combinations: weights in (0,1]
@@ -853,6 +952,86 @@ mod tests {
             let total = c.allreduce_sum(&[own_sum])[0];
             assert!((total - ghost_total).abs() < 1e-12);
             assert!(w[m.n_owned..].iter().all(|&x| x == 0.0));
+        });
+    }
+
+    #[test]
+    fn interleaved_exchange_bitwise_matches_strided() {
+        // The packed ncomp=3 exchange and reverse accumulation must agree
+        // bit for bit with one strided pass per component, and the pack
+        // buffers must stop growing after the first call.
+        spmd::run(4, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            t.refine(|o| o.center_unit()[2] > 0.6);
+            t.balance(BalanceKind::Full);
+            t.partition();
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let ncomp = 3;
+            let n_local = m.n_local();
+            let fill = |d: usize, k: usize| {
+                let g = (m.global_offset + d as u64) as f64;
+                (g + 1.0) * (k as f64 + 1.0) * 0.37 - g * 0.11
+            };
+
+            // Strided reference: exchange each component separately.
+            let mut v_ref = vec![0.0; n_local * ncomp];
+            for d in 0..m.n_owned {
+                for k in 0..ncomp {
+                    v_ref[d * ncomp + k] = fill(d, k);
+                }
+            }
+            let mut scratch = vec![0.0; n_local];
+            for k in 0..ncomp {
+                for i in 0..n_local {
+                    scratch[i] = v_ref[i * ncomp + k];
+                }
+                m.exchange.exchange(c, &mut scratch, m.n_owned);
+                for i in 0..n_local {
+                    v_ref[i * ncomp + k] = scratch[i];
+                }
+            }
+
+            // Packed path.
+            let mut v = vec![0.0; n_local * ncomp];
+            for d in 0..m.n_owned {
+                for k in 0..ncomp {
+                    v[d * ncomp + k] = fill(d, k);
+                }
+            }
+            let mut buf = ExchangeBuffers::new();
+            m.exchange
+                .exchange_interleaved(c, &mut v, m.n_owned, ncomp, &mut buf);
+            assert_eq!(v, v_ref, "ghost values must be bitwise identical");
+
+            // Reverse accumulation: seed ghosts, compare owner sums.
+            let mut w_ref = vec![0.0; n_local * ncomp];
+            let mut w = vec![0.0; n_local * ncomp];
+            for g in 0..m.n_ghost {
+                for k in 0..ncomp {
+                    let val = fill(g, k) + 0.5;
+                    w_ref[(m.n_owned + g) * ncomp + k] = val;
+                    w[(m.n_owned + g) * ncomp + k] = val;
+                }
+            }
+            for k in 0..ncomp {
+                for i in 0..n_local {
+                    scratch[i] = w_ref[i * ncomp + k];
+                }
+                m.exchange.reverse_accumulate(c, &mut scratch, m.n_owned);
+                for i in 0..n_local {
+                    w_ref[i * ncomp + k] = scratch[i];
+                }
+            }
+            m.exchange
+                .reverse_accumulate_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
+            assert_eq!(w, w_ref, "accumulated values must be bitwise identical");
+            // Steady state: further exchanges must not grow the buffers.
+            let cap = buf.capacity_bytes();
+            m.exchange
+                .exchange_interleaved(c, &mut v, m.n_owned, ncomp, &mut buf);
+            m.exchange
+                .reverse_accumulate_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
+            assert_eq!(buf.capacity_bytes(), cap, "buffers must be reused");
         });
     }
 

@@ -33,9 +33,10 @@ pub struct Octant {
 unsafe impl scomm::Pod for Octant {}
 
 /// Spread the low 21 bits of `v` so that each bit lands every third
-/// position (classic 3D Morton bit-interleaving helper).
+/// position (classic 3D Morton bit-interleaving helper). Branchless and
+/// `const`: keys of static octants evaluate at compile time.
 #[inline]
-fn spread3(v: u32) -> u64 {
+pub const fn spread3(v: u32) -> u64 {
     let mut x = v as u64 & 0x1f_ffff; // 21 bits
     x = (x | (x << 32)) & 0x1f00000000ffff;
     x = (x | (x << 16)) & 0x1f0000ff0000ff;
@@ -47,7 +48,7 @@ fn spread3(v: u32) -> u64 {
 
 /// Inverse of [`spread3`]: compact every third bit into the low bits.
 #[inline]
-fn compact3(v: u64) -> u32 {
+pub const fn compact3(v: u64) -> u32 {
     let mut x = v & 0x1249249249249249;
     x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
     x = (x | (x >> 4)) & 0x100f00f00f00f00f;
@@ -61,13 +62,13 @@ fn compact3(v: u64) -> u32 {
 /// significant position of each bit triple, matching the paper's `(z,y,x)`
 /// triple traversal.
 #[inline]
-pub fn morton_key(x: u32, y: u32, z: u32) -> u64 {
+pub const fn morton_key(x: u32, y: u32, z: u32) -> u64 {
     spread3(x) | (spread3(y) << 1) | (spread3(z) << 2)
 }
 
 /// Invert [`morton_key`].
 #[inline]
-pub fn morton_decode(key: u64) -> (u32, u32, u32) {
+pub const fn morton_decode(key: u64) -> (u32, u32, u32) {
     (compact3(key), compact3(key >> 1), compact3(key >> 2))
 }
 
@@ -296,6 +297,16 @@ impl Ord for Octant {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn morton_key_is_const_evaluable() {
+        const K: u64 = morton_key(5, 3, 1);
+        const D: (u32, u32, u32) = morton_decode(K);
+        // 5 = 101b, 3 = 011b, 1 = 001b interleaved (z y x) per bit:
+        // bit0 triple (1,1,1)=7, bit1 (0,1,0)=2, bit2 (0,0,1)=1 → 0b001_010_111.
+        assert_eq!(K, 0b001_010_111);
+        assert_eq!(D, (5, 3, 1));
+    }
 
     #[test]
     fn morton_roundtrip() {

@@ -461,6 +461,64 @@ impl Comm {
         incoming
     }
 
+    /// Personalized all-to-all over flat, caller-managed buffers — the
+    /// allocation-free counterpart of [`Comm::alltoallv`]. `send` holds the
+    /// payloads for ranks `0..size()` back to back, `send_counts[d]`
+    /// elements each. Received payloads are appended to `recv` (cleared
+    /// first, capacity reused) in source-rank order and `recv_counts[s]`
+    /// reports how many elements rank `s` sent. Statistics and telemetry
+    /// are identical to [`Comm::alltoallv`].
+    pub fn alltoallv_flat<T: Pod>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv: &mut Vec<T>,
+        recv_counts: &mut Vec<usize>,
+    ) {
+        let _t = self.op_span("comm:alltoallv");
+        let p = self.size();
+        assert_eq!(send_counts.len(), p, "alltoallv needs one count per rank");
+        assert_eq!(
+            send_counts.iter().sum::<usize>(),
+            send.len(),
+            "send counts must cover the flat send buffer exactly"
+        );
+        self.maybe_stagger();
+        let world = &self.world;
+        let mut sent_bytes = 0u64;
+        let mut p2p_msgs = 0u64;
+        let mut off = 0usize;
+        for (dst, &cnt) in send_counts.iter().enumerate() {
+            let mut slot = world.matrix[self.rank * p + dst].lock().unwrap();
+            slot.clear();
+            slot.extend_from_slice(as_bytes(&send[off..off + cnt]));
+            off += cnt;
+            if dst != self.rank {
+                sent_bytes += slot.len() as u64;
+                if cnt != 0 {
+                    p2p_msgs += 1;
+                }
+            }
+        }
+        world.barrier.wait();
+        recv.clear();
+        recv_counts.clear();
+        let elem = std::mem::size_of::<T>().max(1);
+        for src in 0..p {
+            let slot = world.matrix[src * p + self.rank].lock().unwrap();
+            recv_counts.push(slot.len() / elem);
+            crate::pod::extend_from_bytes(recv, &slot);
+        }
+        world.barrier.wait();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.alltoalls += 1;
+            s.p2p_messages += p2p_msgs;
+            s.p2p_bytes += sent_bytes;
+        }
+        self.op_bytes(sent_bytes);
+    }
+
     /// Convenience: gather one `u64` per rank (the classic "element counts"
     /// exchange used to establish global Morton ranges; cf. the paper's
     /// `MPI_Allgather` of one long integer per core).
@@ -577,6 +635,49 @@ mod tests {
             for (src, payload) in incoming.iter().enumerate() {
                 assert_eq!(payload, &vec![(src * 10 + me) as u64]);
             }
+        }
+    }
+
+    #[test]
+    fn alltoallv_flat_matches_nested_and_reuses_buffers() {
+        let p = 4;
+        let out = spmd::run(p, |c| {
+            // Nested reference path.
+            let outgoing: Vec<Vec<u64>> = (0..c.size())
+                .map(|d| {
+                    (0..d)
+                        .map(|i| (c.rank() * 100 + d * 10 + i) as u64)
+                        .collect()
+                })
+                .collect();
+            let nested = c.alltoallv(&outgoing);
+            let s0 = c.stats();
+
+            // Flat path with the same payloads must deliver identical data
+            // and account identical message/byte counts.
+            let send: Vec<u64> = outgoing.iter().flatten().copied().collect();
+            let send_counts: Vec<usize> = outgoing.iter().map(Vec::len).collect();
+            let mut recv = Vec::new();
+            let mut recv_counts = Vec::new();
+            c.alltoallv_flat(&send, &send_counts, &mut recv, &mut recv_counts);
+            let s1 = c.stats();
+            assert_eq!(s1.alltoalls - s0.alltoalls, 1);
+            assert_eq!(s1.p2p_messages - s0.p2p_messages, s0.p2p_messages);
+            assert_eq!(s1.p2p_bytes - s0.p2p_bytes, s0.p2p_bytes);
+
+            let flat_nested: Vec<u64> = nested.iter().flatten().copied().collect();
+            assert_eq!(recv, flat_nested);
+            assert_eq!(recv_counts, nested.iter().map(Vec::len).collect::<Vec<_>>());
+
+            // Second call must reuse the receive buffer's allocation.
+            let ptr = recv.as_ptr();
+            c.alltoallv_flat(&send, &send_counts, &mut recv, &mut recv_counts);
+            assert_eq!(recv, flat_nested);
+            assert_eq!(recv.as_ptr(), ptr, "flat exchange must not reallocate");
+            c.stats()
+        });
+        for s in out {
+            assert_eq!(s.alltoalls, 3);
         }
     }
 

@@ -70,6 +70,42 @@ pub fn from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     out
 }
 
+/// Append typed values decoded from raw bytes onto `out`, reusing its
+/// spare capacity. The allocation-free counterpart of [`from_bytes`] for
+/// hot paths that recycle their receive buffers.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of `size_of::<T>()`.
+pub fn extend_from_bytes<T: Pod>(out: &mut Vec<T>, bytes: &[u8]) {
+    let size = std::mem::size_of::<T>();
+    assert!(
+        size == 0 || bytes.len().is_multiple_of(size),
+        "byte buffer length {} not a multiple of element size {}",
+        bytes.len(),
+        size
+    );
+    if size == 0 {
+        return;
+    }
+    let n = bytes.len() / size;
+    out.reserve(n);
+    let old_len = out.len();
+    // SAFETY: `reserve` guarantees capacity for `old_len + n` elements;
+    // the source bytes were produced from valid `T`s by `as_bytes`, and
+    // `T: Pod` means any such bytes form valid values. The destination
+    // region starts past the initialized prefix, so it cannot overlap
+    // the source slice.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            bytes.as_ptr(),
+            (out.as_mut_ptr() as *mut u8).add(old_len * size),
+            bytes.len(),
+        );
+        out.set_len(old_len + n);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +145,25 @@ mod tests {
         let data = vec![[1u32, 2, 3], [4, 5, 6]];
         let back: Vec<[u32; 3]> = from_bytes(as_bytes(&data));
         assert_eq!(back, data);
+    }
+
+    #[test]
+    fn extend_reuses_capacity_and_appends() {
+        let mut out: Vec<f64> = Vec::with_capacity(8);
+        out.push(9.0);
+        let ptr = out.as_ptr();
+        let data = [1.5f64, -2.25, 1e300];
+        extend_from_bytes(&mut out, as_bytes(&data));
+        assert_eq!(out, vec![9.0, 1.5, -2.25, 1e300]);
+        assert_eq!(out.as_ptr(), ptr, "must reuse existing capacity");
+        extend_from_bytes::<f64>(&mut out, &[]);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn extend_bad_length_panics() {
+        let mut out: Vec<u32> = Vec::new();
+        extend_from_bytes(&mut out, &[0u8; 7]);
     }
 }

@@ -61,21 +61,18 @@ where
     F: Fn([f64; 3]) -> [f64; 3],
     G: Fn([f64; 3]) -> [f64; 3],
 {
-    // Initial viscosity at zero strain rate.
-    let mut viscosity: Vec<f64> = (0..mesh.elements.len()).map(|e| rheology(e, 0.0)).collect();
+    // Initial viscosity at zero strain rate. One solver instance lives
+    // across the whole nonlinear loop, so its workspace (ghost-exchange
+    // staging, operator scratch) is allocated once; each Picard step only
+    // re-runs the preconditioner setup on the updated viscosity.
+    let viscosity: Vec<f64> = (0..mesh.elements.len()).map(|e| rheology(e, 0.0)).collect();
+    let mut solver = StokesSolver::new(mesh, comm, viscosity, vel_bc, options.stokes);
     let mut x = vec![0.0; 4 * mesh.n_owned];
     let mut total_minres = 0;
     let mut converged = false;
     let mut iters = 0;
     for it in 0..options.max_picard {
         iters = it + 1;
-        let mut solver = StokesSolver::new(
-            mesh,
-            comm,
-            viscosity.clone(),
-            vel_bc.clone(),
-            options.stokes,
-        );
         let (rhs, x0) = solver.build_rhs(&body_force, &bc_values);
         if it == 0 {
             x = x0;
@@ -94,18 +91,21 @@ where
         let mut max_rel = 0.0f64;
         for (e, &ed) in edot.iter().enumerate() {
             let eta_new = rheology(e, ed);
-            max_rel = max_rel.max((eta_new - viscosity[e]).abs() / viscosity[e].abs().max(1e-300));
-            viscosity[e] = eta_new;
+            let eta_old = solver.viscosity[e];
+            max_rel = max_rel.max((eta_new - eta_old).abs() / eta_old.abs().max(1e-300));
+            solver.viscosity[e] = eta_new;
         }
         let global_rel = comm.allreduce_max(&[max_rel])[0];
         if global_rel < options.rheology_tol {
             converged = true;
             break;
         }
+        // Viscosity changed: rebuild the AMG hierarchy and Schur diagonal.
+        solver.setup();
     }
     PicardResult {
         x,
-        viscosity,
+        viscosity: std::mem::take(&mut solver.viscosity),
         picard_iterations: iters,
         total_minres_iterations: total_minres,
         converged,

@@ -5,11 +5,12 @@ use fem::element::{
     divergence_matrix, lumped_mass, pressure_stabilization, stiffness_matrix, viscous_matrix,
 };
 use fem::op::DofMap;
-use la::krylov::{minres_observed, LinearOp, SolveInfo};
+use la::krylov::{minres_fused, minres_observed, DotBatch, LinearOp, SolveInfo};
 use la::{Amg, AmgOptions};
-use mesh::extract::Mesh;
+use mesh::extract::{ExchangeBuffers, Mesh};
 use obs::Recorder;
 use scomm::Comm;
+use std::cell::RefCell;
 
 /// Solver options.
 #[derive(Debug, Clone, Copy)]
@@ -17,6 +18,10 @@ pub struct StokesOptions {
     pub tol: f64,
     pub max_iter: usize,
     pub amg: AmgOptions,
+    /// Use the single-reduction fused MINRES ([`minres_fused`]) instead of
+    /// the classic two-reduction iteration. On by default; the classic
+    /// path is kept for differential testing.
+    pub fused_reductions: bool,
 }
 
 impl Default for StokesOptions {
@@ -25,7 +30,70 @@ impl Default for StokesOptions {
             tol: 1e-8,
             max_iter: 500,
             amg: AmgOptions::default(),
+            fused_reductions: true,
         }
+    }
+}
+
+/// Reusable scratch for the operator and preconditioner applications.
+/// Grow-only: after the first application every buffer has reached its
+/// final capacity and subsequent applies perform zero heap allocations
+/// (the `minres.alloc_bytes` telemetry counter proves it per solve).
+#[derive(Debug, Default)]
+struct SolverWorkspace {
+    /// BC-zeroed owned velocity copy.
+    u: Vec<f64>,
+    /// Owned+ghost velocity / pressure vectors.
+    ul: Vec<f64>,
+    pl: Vec<f64>,
+    /// Owned+ghost result accumulators.
+    yu: Vec<f64>,
+    yp: Vec<f64>,
+    /// Preconditioner per-component scratch.
+    rc: Vec<f64>,
+    zc: Vec<f64>,
+    /// Packed ghost-exchange staging for the velocity / scalar maps.
+    vexch: ExchangeBuffers,
+    sexch: ExchangeBuffers,
+}
+
+impl SolverWorkspace {
+    fn capacity_bytes(&self) -> u64 {
+        ((self.u.capacity()
+            + self.ul.capacity()
+            + self.pl.capacity()
+            + self.yu.capacity()
+            + self.yp.capacity()
+            + self.rc.capacity()
+            + self.zc.capacity())
+            * std::mem::size_of::<f64>()) as u64
+            + self.vexch.capacity_bytes()
+            + self.sexch.capacity_bytes()
+    }
+}
+
+/// Globally consistent inner products on combined (velocity | pressure)
+/// owned vectors: per-pair local partials, one `allreduce_sum` for the
+/// whole batch. Each batched scalar is bitwise identical to a separate
+/// [`StokesSolver::dot`] call (the simulated allreduce combines ranks
+/// elementwise in rank order).
+struct CombinedDots<'c>(&'c Comm);
+
+impl DotBatch for CombinedDots<'_> {
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        self.0.allreduce_sum(&[local])[0]
+    }
+
+    fn dots(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        const MAX: usize = 16;
+        assert!(pairs.len() <= MAX, "dot batch larger than {MAX}");
+        let mut locals = [0.0f64; MAX];
+        for (l, (a, b)) in locals.iter_mut().zip(pairs) {
+            *l = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        }
+        let global = self.0.allreduce_sum(&locals[..pairs.len()]);
+        out.copy_from_slice(&global);
     }
 }
 
@@ -59,6 +127,7 @@ pub struct StokesSolver<'a> {
     amg: Vec<Amg>,
     /// Inverse of the η⁻¹-weighted lumped pressure mass diagonal.
     schur_diag_inv: Vec<f64>,
+    ws: RefCell<SolverWorkspace>,
     pub stats: StokesStats,
     options: StokesOptions,
 }
@@ -86,6 +155,7 @@ impl<'a> StokesSolver<'a> {
             smap,
             amg: Vec::new(),
             schur_diag_inv: Vec::new(),
+            ws: RefCell::new(SolverWorkspace::default()),
             stats: StokesStats::default(),
             options,
         };
@@ -171,23 +241,35 @@ impl<'a> StokesSolver<'a> {
     }
 
     /// Apply the stabilized Stokes operator to a combined vector.
+    /// Allocation-free at steady state (reusable [`SolverWorkspace`]).
     pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut ws = self.ws.borrow_mut();
+        self.apply_with(x, y, &mut ws, true);
+    }
+
+    /// Shared body of [`StokesSolver::apply`] (BC-eliminated) and the
+    /// unconstrained application used for the Dirichlet lift.
+    fn apply_with(&self, x: &[f64], y: &mut [f64], ws: &mut SolverWorkspace, constrained: bool) {
         let nu = 3 * self.mesh.n_owned;
         let np = self.mesh.n_owned;
         debug_assert_eq!(x.len(), nu + np);
         // Split and zero velocity BC entries (symmetric elimination).
-        let mut u = x[..nu].to_vec();
-        for (i, &m) in self.vel_bc.iter().enumerate() {
-            if m {
-                u[i] = 0.0;
+        ws.u.clear();
+        ws.u.extend_from_slice(&x[..nu]);
+        if constrained {
+            for (i, &m) in self.vel_bc.iter().enumerate() {
+                if m {
+                    ws.u[i] = 0.0;
+                }
             }
         }
-        let p = &x[nu..];
-        let ul = self.vmap.to_local(&u);
-        let pl = self.smap.to_local(p);
+        self.vmap.to_local_into(&ws.u, &mut ws.ul, &mut ws.vexch);
+        self.smap.to_local_into(&x[nu..], &mut ws.pl, &mut ws.sexch);
 
-        let mut yu = vec![0.0; self.vmap.n_local()];
-        let mut yp = vec![0.0; self.smap.n_local()];
+        ws.yu.clear();
+        ws.yu.resize(self.vmap.n_local(), 0.0);
+        ws.yp.clear();
+        ws.yp.resize(self.smap.n_local(), 0.0);
         let mut ue = [0.0; 24];
         let mut pe = [0.0; 8];
         let mut ru = [0.0; 24];
@@ -198,8 +280,8 @@ impl<'a> StokesSolver<'a> {
             let a = viscous_matrix(h, eta);
             let b = divergence_matrix(h);
             let c = pressure_stabilization(h, eta);
-            self.vmap.gather_element(e, &ul, &mut ue);
-            self.smap.gather_element(e, &pl, &mut pe);
+            self.vmap.gather_element(e, &ws.ul, &mut ue);
+            self.smap.gather_element(e, &ws.pl, &mut pe);
             // ru = A u + Bᵀ p ; rp = B u − C p.
             for i in 0..24 {
                 let mut acc = 0.0;
@@ -221,36 +303,43 @@ impl<'a> StokesSolver<'a> {
                 }
                 rp[q] = acc;
             }
-            self.vmap.scatter_element(e, &ru, &mut yu);
-            self.smap.scatter_element(e, &rp, &mut yp);
+            self.vmap.scatter_element(e, &ru, &mut ws.yu);
+            self.smap.scatter_element(e, &rp, &mut ws.yp);
         }
-        self.vmap.reverse_accumulate(&mut yu);
-        self.smap.reverse_accumulate(&mut yp);
-        y[..nu].copy_from_slice(&yu[..nu]);
-        y[nu..].copy_from_slice(&yp[..np]);
-        // Identity on velocity BC rows.
-        for (i, &m) in self.vel_bc.iter().enumerate() {
-            if m {
-                y[i] = x[i];
+        self.vmap.reverse_accumulate_with(&mut ws.yu, &mut ws.vexch);
+        self.smap.reverse_accumulate_with(&mut ws.yp, &mut ws.sexch);
+        y[..nu].copy_from_slice(&ws.yu[..nu]);
+        y[nu..].copy_from_slice(&ws.yp[..np]);
+        if constrained {
+            // Identity on velocity BC rows.
+            for (i, &m) in self.vel_bc.iter().enumerate() {
+                if m {
+                    y[i] = x[i];
+                }
             }
         }
     }
 
     /// Apply the block preconditioner `P⁻¹ = diag(Ã⁻¹, S̃⁻¹)`: one AMG
     /// V-cycle per velocity component, diagonal solve on pressure.
+    /// Allocation-free at steady state.
     pub fn apply_preconditioner(&self, r: &[f64], z: &mut [f64]) {
         let n = self.mesh.n_owned;
         let nu = 3 * n;
         assert_eq!(self.amg.len(), 3, "setup() must run first");
-        let mut rc = vec![0.0; n];
-        let mut zc = vec![0.0; n];
+        let mut ws_ref = self.ws.borrow_mut();
+        let ws = &mut *ws_ref;
+        ws.rc.clear();
+        ws.rc.resize(n, 0.0);
+        ws.zc.clear();
+        ws.zc.resize(n, 0.0);
         for c in 0..3 {
             for i in 0..n {
-                rc[i] = r[3 * i + c];
+                ws.rc[i] = r[3 * i + c];
             }
-            self.amg[c].vcycle(&rc, &mut zc);
+            self.amg[c].vcycle(&ws.rc, &mut ws.zc);
             for i in 0..n {
-                z[3 * i + c] = zc[i];
+                z[3 * i + c] = ws.zc[i];
             }
         }
         for i in 0..n {
@@ -289,38 +378,74 @@ impl<'a> StokesSolver<'a> {
         let rec = self.recorder();
         let _span = rec.as_ref().map(|r| r.span_cat("MINRES", "solve"));
         let t0 = std::time::Instant::now();
+        // Snapshot communication stats and workspace capacity: their
+        // deltas across the solve become the per-solve telemetry counters
+        // (reductions per iteration, exchange messages, allocation proof).
+        let stats0 = self.comm.stats();
+        let cap0 = self.ws.borrow().capacity_bytes();
         let (info, vcycle_secs) = {
             let op = OpWrap(self);
             let pre = PreWrap(self, std::cell::Cell::new(0.0), rec.clone());
-            let info = minres_observed(
-                &op,
-                Some(&pre),
-                rhs,
-                x,
-                self.options.tol,
-                self.options.max_iter,
-                |a, b| self.dot(a, b),
-                |_iter, res| {
-                    #[cfg(debug_assertions)]
-                    if scomm::checks_enabled() {
-                        assert!(
-                            res.is_finite(),
-                            "MINRES residual became non-finite at iteration {_iter} \
-                             (corrupt assembly or exchange upstream)"
-                        );
-                    }
-                    if let Some(r) = rec.as_ref() {
-                        r.push_series("minres.residual", res);
-                    }
-                },
-            );
+            let observe = |_iter: usize, res: f64| {
+                #[cfg(debug_assertions)]
+                if scomm::checks_enabled() {
+                    assert!(
+                        res.is_finite(),
+                        "MINRES residual became non-finite at iteration {_iter} \
+                         (corrupt assembly or exchange upstream)"
+                    );
+                }
+                if let Some(r) = rec.as_ref() {
+                    r.push_series("minres.residual", res);
+                }
+            };
+            let dots = CombinedDots(self.comm);
+            let info = if self.options.fused_reductions {
+                minres_fused(
+                    &op,
+                    Some(&pre),
+                    rhs,
+                    x,
+                    self.options.tol,
+                    self.options.max_iter,
+                    dots,
+                    observe,
+                )
+            } else {
+                minres_observed(
+                    &op,
+                    Some(&pre),
+                    rhs,
+                    x,
+                    self.options.tol,
+                    self.options.max_iter,
+                    dots,
+                    observe,
+                )
+            };
             (info, pre.1.get())
         };
         self.stats.minres_seconds += t0.elapsed().as_secs_f64();
         self.stats.amg_vcycle_seconds += vcycle_secs;
         self.stats.minres_iterations += info.iterations;
         if let Some(r) = rec.as_ref() {
+            let stats1 = self.comm.stats();
+            let cap1 = self.ws.borrow().capacity_bytes();
             r.add_count("minres.iterations", info.iterations as u64);
+            r.add_count("minres.allreduces", stats1.allreduces - stats0.allreduces);
+            r.add_count(
+                "minres.exchange_msgs",
+                stats1.p2p_messages - stats0.p2p_messages,
+            );
+            // Workspace growth during the solve; 0 once buffers reached
+            // steady state (the zero-allocation proof for the hot path).
+            r.add_count("minres.alloc_bytes", cap1 - cap0);
+            if info.iterations > 0 {
+                r.push_series(
+                    "minres.reductions_per_iter",
+                    (stats1.allreduces - stats0.allreduces) as f64 / info.iterations as f64,
+                );
+            }
         }
         info
     }
@@ -395,53 +520,8 @@ impl<'a> StokesSolver<'a> {
 
     /// Operator application without BC elimination (used for the lift).
     fn apply_unconstrained(&self, x: &[f64], y: &mut [f64]) {
-        let nu = 3 * self.mesh.n_owned;
-        let np = self.mesh.n_owned;
-        let u = &x[..nu];
-        let p = &x[nu..];
-        let ul = self.vmap.to_local(u);
-        let pl = self.smap.to_local(p);
-        let mut yu = vec![0.0; self.vmap.n_local()];
-        let mut yp = vec![0.0; self.smap.n_local()];
-        let mut ue = [0.0; 24];
-        let mut pe = [0.0; 8];
-        let mut ru = [0.0; 24];
-        let mut rp = [0.0; 8];
-        for e in 0..self.mesh.elements.len() {
-            let h = self.mesh.element_size(e);
-            let eta = self.viscosity[e];
-            let a = viscous_matrix(h, eta);
-            let b = divergence_matrix(h);
-            let c = pressure_stabilization(h, eta);
-            self.vmap.gather_element(e, &ul, &mut ue);
-            self.smap.gather_element(e, &pl, &mut pe);
-            for i in 0..24 {
-                let mut acc = 0.0;
-                for j in 0..24 {
-                    acc += a[i][j] * ue[j];
-                }
-                for q in 0..8 {
-                    acc += b[q][i] * pe[q];
-                }
-                ru[i] = acc;
-            }
-            for q in 0..8 {
-                let mut acc = 0.0;
-                for j in 0..24 {
-                    acc += b[q][j] * ue[j];
-                }
-                for r in 0..8 {
-                    acc -= c[q][r] * pe[r];
-                }
-                rp[q] = acc;
-            }
-            self.vmap.scatter_element(e, &ru, &mut yu);
-            self.smap.scatter_element(e, &rp, &mut yp);
-        }
-        self.vmap.reverse_accumulate(&mut yu);
-        self.smap.reverse_accumulate(&mut yp);
-        y[..nu].copy_from_slice(&yu[..nu]);
-        y[nu..].copy_from_slice(&yp[..np]);
+        let mut ws = self.ws.borrow_mut();
+        self.apply_with(x, y, &mut ws, false);
     }
 
     /// Compute the per-element second invariant of the strain rate

@@ -39,9 +39,9 @@ fn main() {
         let map = DofMap::new(&mesh, comm, 1);
         let bc: Vec<bool> = (0..mesh.n_owned).map(|d| mesh.dof_on_boundary(d)).collect();
         let mref = &mesh;
-        let op = DistOp {
-            map: &map,
-            elem_matrix: Box::new(move |e, out| {
+        let op = DistOp::new(
+            &map,
+            Box::new(move |e, out: &mut [f64]| {
                 let k = stiffness_matrix(mref.element_size(e), 1.0);
                 for i in 0..8 {
                     for j in 0..8 {
@@ -49,8 +49,8 @@ fn main() {
                     }
                 }
             }),
-            bc_mask: Some(&bc),
-        };
+            Some(&bc),
+        );
         // Load vector: lumped ∫ N_i · 1.
         let mut rhs = vec![0.0; map.n_local()];
         for e in 0..mesh.elements.len() {
@@ -65,9 +65,7 @@ fn main() {
             }
         }
         let mut u = vec![0.0; mesh.n_owned];
-        let info = cg(&op, None::<&la::Csr>, &rhs, &mut u, 1e-8, 500, |a, b| {
-            map.dot(a, b)
-        });
+        let info = cg(&op, None::<&la::Csr>, &rhs, &mut u, 1e-8, 500, &map);
         let umax = map.norm_inf(&u);
 
         (

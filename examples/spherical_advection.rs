@@ -22,55 +22,52 @@ fn main() {
         conn.vertices.len()
     );
 
-    let out = spmd::run(RANKS, {
-        let conn = conn.clone();
-        move |comm| {
-            let forest = Forest::new_uniform(comm, conn.clone(), 1);
-            let init = |q: [f64; 3]| {
-                let r = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2]).sqrt();
-                let d2 = (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
-                (-d2 / 0.05).exp()
-            };
-            // Solid-body rotation about the z axis.
-            let mut dg = DgAdvection::new(
-                &forest,
-                DgParams {
-                    order,
-                    cfl: 0.25,
-                    ..Default::default()
-                },
-                init,
-                |q| [-q[1], q[0], 0.0],
-            );
-            let m0 = dg.total_mass();
-            let dt = dg.stable_dt();
-            let mut snapshots = Vec::new();
-            for s in 0..STEPS {
-                dg.step(dt);
-                if s % 10 == 9 {
-                    // Front azimuth as the solution-weighted circular mean
-                    // over all nodes — tracks sub-element motion smoothly,
-                    // unlike an argmax (which is quantized to node spacing).
-                    let n3 = dg.u.len() / forest.local.len();
-                    let (mut sx, mut sy, mut umax) = (0.0f64, 0.0f64, 0.0f64);
-                    for e in 0..forest.local.len() {
-                        for (node, p) in dg.node_positions(e).into_iter().enumerate() {
-                            let u = dg.u[e * n3 + node].max(0.0);
-                            let az = p[1].atan2(p[0]);
-                            sx += u * az.cos();
-                            sy += u * az.sin();
-                            umax = umax.max(u);
-                        }
+    let out = spmd::run(RANKS, move |comm| {
+        let forest = Forest::new_uniform(comm, conn.clone(), 1);
+        let init = |q: [f64; 3]| {
+            let r = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2]).sqrt();
+            let d2 = (q[0] / r - 1.0).powi(2) + (q[1] / r).powi(2) + (q[2] / r).powi(2);
+            (-d2 / 0.05).exp()
+        };
+        // Solid-body rotation about the z axis.
+        let mut dg = DgAdvection::new(
+            &forest,
+            DgParams {
+                order,
+                cfl: 0.25,
+                ..Default::default()
+            },
+            init,
+            |q| [-q[1], q[0], 0.0],
+        );
+        let m0 = dg.total_mass();
+        let dt = dg.stable_dt();
+        let mut snapshots = Vec::new();
+        for s in 0..STEPS {
+            dg.step(dt);
+            if s % 10 == 9 {
+                // Front azimuth as the solution-weighted circular mean
+                // over all nodes — tracks sub-element motion smoothly,
+                // unlike an argmax (which is quantized to node spacing).
+                let n3 = dg.u.len() / forest.local.len();
+                let (mut sx, mut sy, mut umax) = (0.0f64, 0.0f64, 0.0f64);
+                for e in 0..forest.local.len() {
+                    for (node, p) in dg.node_positions(e).into_iter().enumerate() {
+                        let u = dg.u[e * n3 + node].max(0.0);
+                        let az = p[1].atan2(p[0]);
+                        sx += u * az.cos();
+                        sy += u * az.sin();
+                        umax = umax.max(u);
                     }
-                    let sums = comm.allreduce_sum(&[sx, sy]);
-                    let gmax = comm.allreduce_max(&[umax])[0];
-                    let angle = sums[1].atan2(sums[0]);
-                    snapshots.push((s + 1, (s + 1) as f64 * dt, angle, gmax));
                 }
+                let sums = comm.allreduce_sum(&[sx, sy]);
+                let gmax = comm.allreduce_max(&[umax])[0];
+                let angle = sums[1].atan2(sums[0]);
+                snapshots.push((s + 1, (s + 1) as f64 * dt, angle, gmax));
             }
-            let m1 = dg.total_mass();
-            (snapshots, m0, m1, forest.global_count())
         }
+        let m1 = dg.total_mass();
+        (snapshots, m0, m1, forest.global_count())
     });
 
     let (snapshots, m0, m1, nelem) = &out[0];

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Matvec-pipeline benchmark harness (PR 3).
+#
+#   scripts/bench.sh           regenerate BENCH_pr3.json from a full
+#                              --release run (the committed artifact);
+#                              fails if the tensor-kernel speedup
+#                              regresses below 1.5x or a warm solve
+#                              allocates.
+#   scripts/bench.sh --smoke   fast debug-build pass over the same code
+#                              paths for CI; writes to a scratch file
+#                              and skips the speedup gate (debug builds
+#                              don't vectorize).
+#
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    out="$(mktemp -t BENCH_pr3_smoke.XXXXXX.json)"
+    trap 'rm -f "$out"' EXIT
+    echo "==> bench smoke (debug, reduced samples) -> $out"
+    cargo run -q -p rhea-bench --bin pr3_pipeline -- --smoke --out "$out"
+else
+    echo "==> bench full (--release) -> BENCH_pr3.json"
+    cargo run -q --release -p rhea-bench --bin pr3_pipeline -- --out BENCH_pr3.json
+fi

@@ -26,4 +26,12 @@ echo "==> fault-injection smoke"
 timeout 120 cargo test -q -p check --test fault_smoke
 timeout 120 cargo test -q -p scomm fault_injection
 
+# Bench smoke: drives the matvec-pipeline benchmark harness end to end
+# (tensor kernels, packed exchange, fused MINRES counters) with reduced
+# sample counts. Catches harness bitrot and the zero-allocation /
+# one-allreduce-per-iteration invariants; timing gates only run in the
+# full `scripts/bench.sh` release pass.
+echo "==> bench smoke"
+timeout 300 bash scripts/bench.sh --smoke
+
 echo "ci: all green"

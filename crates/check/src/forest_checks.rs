@@ -7,6 +7,7 @@
 
 use forest::{Forest, ForestLeaf};
 use octree::balance::BalanceKind;
+use octree::ROOT_LEN;
 
 use crate::{violation, Violation};
 
@@ -85,6 +86,80 @@ pub fn morton_order(forest: &Forest) -> Vec<Violation> {
             }
         }
         prev = Some((r, l.max(prev.map(|(_, pl)| pl).unwrap_or(0))));
+    }
+    out
+}
+
+/// Partition ownership completeness on the forest curve. Cost: O(local)
+/// + two collectives.
+///
+/// Mirrors [`crate::octree_checks::partition`]: (1) every local leaf
+/// maps back to this rank under the marker-based ownership search,
+/// (2) the replicated count metadata matches the actual local count,
+/// (3) the leaf regions exactly tile all trees of the connectivity by
+/// volume (no gap, no double coverage).
+pub fn partition(forest: &Forest) -> Vec<Violation> {
+    const NAME: &str = "partition";
+    let comm = forest.comm();
+    let me = comm.rank();
+    let mut out = Vec::new();
+    for l in &forest.local {
+        let owner = forest.owner_of(l);
+        if owner != me {
+            out.push(violation(
+                NAME,
+                me,
+                format!("local forest leaf {l:?} maps to owner {owner}, not to me"),
+            ));
+        }
+    }
+    if forest.rank_counts()[me] != forest.local.len() as u64 {
+        out.push(violation(
+            NAME,
+            me,
+            format!(
+                "replicated count {} disagrees with actual local count {}",
+                forest.rank_counts()[me],
+                forest.local.len()
+            ),
+        ));
+    }
+    let total = comm.allreduce_sum(&[forest.local.len() as u64])[0];
+    if total != forest.global_count() && me == 0 {
+        out.push(violation(
+            NAME,
+            me,
+            format!(
+                "global count metadata {} disagrees with actual total {total}",
+                forest.global_count()
+            ),
+        ));
+    }
+    // Exact volume completeness over all trees in u128 via a two-limb
+    // u64 transfer.
+    let vol: u128 = forest
+        .local
+        .iter()
+        .map(|l| {
+            let s = l.oct.len() as u128;
+            s * s * s
+        })
+        .sum();
+    let limbs = comm.allgatherv(&[(vol >> 64) as u64, vol as u64]);
+    let mut total_vol: u128 = 0;
+    for c in limbs.chunks(2) {
+        total_vol += ((c[0] as u128) << 64) | c[1] as u128;
+    }
+    let want = (ROOT_LEN as u128).pow(3) * forest.connectivity().num_trees() as u128;
+    if total_vol != want && me == 0 {
+        out.push(violation(
+            NAME,
+            me,
+            format!(
+                "forest leaf regions do not tile the trees: covered volume \
+                 {total_vol} of {want} (missing or duplicated leaves)"
+            ),
+        ));
     }
     out
 }

@@ -1,0 +1,264 @@
+//! Seeded property-based fuzzer for the AMR adaptation pipeline.
+//!
+//! Each fuzz run drives randomized `mark → refine → coarsen → balance →
+//! partition → transfer` cycles on a distributed octree and asserts,
+//! every cycle:
+//!
+//! * all six PR 2 invariant checkers are clean on the post-partition
+//!   state ([`crate::octree_checks`]::{morton_order, partition,
+//!   balance21, ghost_symmetry} and [`crate::mesh_checks`]::{constraints,
+//!   dof_numbering});
+//! * the distributed fast balance produces a global leaf set **bitwise
+//!   equal** to the serial naive oracle
+//!   ([`octree::balance::balance_local_naive_kind`]) applied to the
+//!   gathered pre-balance union;
+//! * field transfer conserves: the interpolated field reproduces a
+//!   linear function to 1e-12 through coarsen/refine/balance, the global
+//!   corner-data sum is conserved across the repartition to 1e-12, and
+//!   the unpacked post-partition nodal field is again exact to 1e-12.
+//!
+//! Randomness is a pure function of `(seed, cycle, octant)` — never of
+//! the rank or the partition — so a failure replays exactly from the
+//! `(seed, cycle, p)` triple carried in every panic message (the seed
+//! replay protocol of DESIGN.md §11).
+
+use mesh::extract::{extract_mesh, node_coords, Mesh, NodeResolution};
+use mesh::interp::interpolate_node_field;
+use octree::balance::{balance_local_naive_kind, BalanceKind};
+use octree::parallel::{transfer_fields, DistOctree};
+use octree::Octant;
+use scomm::{spmd, Comm};
+
+use crate::{mesh_checks, octree_checks, Violation};
+
+/// Configuration of one fuzz run (one communicator size, many cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Base seed; all per-cycle randomness derives from it.
+    pub seed: u64,
+    /// Number of adaptation cycles to drive.
+    pub cycles: usize,
+    /// Initial uniform refinement level.
+    pub level: u8,
+    /// Leaves at this level are never refined (bounds the problem size).
+    pub max_level: u8,
+    /// Balance neighborhood fuzzed against the naive oracle.
+    pub kind: BalanceKind,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            cycles: 10,
+            level: 2,
+            max_level: 4,
+            kind: BalanceKind::Full,
+        }
+    }
+}
+
+/// splitmix64 finalizer: the per-octant decision hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic percentage in `0..100` for an octant's decision: a pure
+/// function of `(seed, cycle, salt, octant)`, independent of rank and
+/// partition so every rank count replays the same tree evolution per
+/// locally-complete family.
+fn roll(seed: u64, cycle: u64, salt: u64, o: &Octant) -> u64 {
+    mix(seed ^ mix(cycle ^ mix(salt ^ mix(o.key() ^ ((o.level as u64) << 56))))) % 100
+}
+
+/// The linear field threaded through every transfer; trilinear
+/// interpolation and corner transfer must reproduce it exactly.
+fn field(q: [f64; 3]) -> f64 {
+    0.75 * q[0] - 1.25 * q[1] + 2.0 * q[2] + 0.5
+}
+
+fn fail(ctx: &str, what: &str) -> ! {
+    panic!("fuzz_amr[{ctx}] {what}");
+}
+
+fn assert_clean_with_ctx(comm: &Comm, ctx: &str, violations: &[Violation]) {
+    let total = comm.allreduce_sum(&[violations.len() as u64])[0];
+    if total > 0 {
+        let mut msg = format!(
+            "{total} invariant violation(s) globally ({} on this rank)",
+            violations.len()
+        );
+        for v in violations {
+            msg.push_str("\n  ");
+            msg.push_str(&v.to_string());
+        }
+        fail(ctx, &msg);
+    }
+}
+
+/// Unpack element-corner data onto the owned dofs of `mesh` (the same
+/// first-match rule the rhea pipeline uses).
+fn unpack_corners(mesh: &Mesh, data: &[f64]) -> Vec<f64> {
+    let mut f = vec![0.0; mesh.n_owned];
+    let mut filled = vec![false; mesh.n_owned];
+    for e in 0..mesh.elements.len() {
+        for (c, &nref) in mesh.elem_nodes[e].iter().enumerate() {
+            if let NodeResolution::Dof(d) = mesh.node_table[nref as usize] {
+                if d < mesh.n_owned && !filled[d] {
+                    let _ = node_coords(mesh.node_keys[nref as usize]);
+                    f[d] = data[8 * e + c];
+                    filled[d] = true;
+                }
+            }
+        }
+    }
+    assert!(filled.iter().all(|&x| x), "owned dof not covered by unpack");
+    f
+}
+
+/// Drive `cfg.cycles` adaptation cycles on `comm`, asserting the full
+/// property set each cycle. Returns the final global element count.
+/// Collective over `comm`.
+pub fn run_cycles(comm: &Comm, cfg: &FuzzConfig) -> u64 {
+    let domain = [1.0, 1.0, 1.0];
+    let mut tree = DistOctree::new_uniform(comm, cfg.level);
+    let mut mesh = extract_mesh(&tree, domain);
+    let mut vals: Vec<f64> = (0..mesh.n_owned)
+        .map(|d| field(mesh.dof_coords(d)))
+        .collect();
+
+    for cycle in 0..cfg.cycles as u64 {
+        let ctx = format!("seed={} cycle={cycle} p={}", cfg.seed, comm.size());
+
+        // Mark + CoarsenTree + RefineTree, hash-driven.
+        tree.coarsen(|o| o.level > 1 && roll(cfg.seed, cycle, 0xC0A5, o) < 35);
+        tree.refine(|o| o.level < cfg.max_level && roll(cfg.seed, cycle, 0x5EF1, o) < 25);
+
+        // BalanceTree: the distributed fast path must match the serial
+        // naive oracle on the gathered union, bitwise.
+        let pre: Vec<Octant> = comm.allgatherv(&tree.local);
+        let mut expected = pre;
+        balance_local_naive_kind(&mut expected, cfg.kind);
+        tree.balance(cfg.kind);
+        let post: Vec<Octant> = comm.allgatherv(&tree.local);
+        if post != expected {
+            fail(
+                &ctx,
+                &format!(
+                    "balance mismatch vs naive oracle: {} leaves vs {} expected",
+                    post.len(),
+                    expected.len()
+                ),
+            );
+        }
+
+        // InterpolateFields onto the adapted (pre-partition) mesh: the
+        // linear field must come through exactly.
+        let mid_mesh = extract_mesh(&tree, domain);
+        let mut fl = vec![0.0; mesh.n_local()];
+        fl[..mesh.n_owned].copy_from_slice(&vals);
+        mesh.exchange.exchange(comm, &mut fl, mesh.n_owned);
+        let mut mid_vals = interpolate_node_field(&mesh, &fl, &mid_mesh);
+        for d in 0..mid_mesh.n_owned {
+            let expect = field(mid_mesh.dof_coords(d));
+            if (mid_vals[d] - expect).abs() > 1e-12 {
+                fail(
+                    &ctx,
+                    &format!(
+                        "interpolation lost the linear field at dof {d}: {} vs {expect}",
+                        mid_vals[d]
+                    ),
+                );
+            }
+        }
+
+        // Pack corner data and repartition; the global corner sum is the
+        // conservation functional.
+        mid_mesh
+            .exchange
+            .exchange(comm, &mut mid_vals, mid_mesh.n_owned);
+        let mut corner = Vec::with_capacity(8 * mid_mesh.elements.len());
+        for e in 0..mid_mesh.elements.len() {
+            corner.extend_from_slice(&mid_mesh.corner_values(e, &mid_vals));
+        }
+        let s0 = comm.allreduce_sum(&[corner.iter().sum::<f64>()])[0];
+        let plan = tree.partition();
+        let moved = transfer_fields(comm, &plan, &corner, 8);
+        let s1 = comm.allreduce_sum(&[moved.iter().sum::<f64>()])[0];
+        if (s0 - s1).abs() > 1e-12 * s0.abs().max(1.0) {
+            fail(
+                &ctx,
+                &format!("transfer broke conservation: sum {s0} -> {s1}"),
+            );
+        }
+
+        // All six PR 2 invariants on the post-partition state.
+        let new_mesh = extract_mesh(&tree, domain);
+        let mut v = octree_checks::morton_order(&tree);
+        v.extend(octree_checks::partition(&tree));
+        v.extend(octree_checks::balance21(&tree, cfg.kind));
+        let ghosts = tree.ghost_layer();
+        v.extend(octree_checks::ghost_symmetry(&tree, &ghosts));
+        v.extend(mesh_checks::constraints(&tree, &new_mesh));
+        v.extend(mesh_checks::dof_numbering(&tree, &new_mesh));
+        assert_clean_with_ctx(comm, &ctx, &v);
+
+        // Carry the field across to the next cycle through the unpacked
+        // corner data; end-to-end it must still be the linear field.
+        let new_vals = unpack_corners(&new_mesh, &moved);
+        for d in 0..new_mesh.n_owned {
+            let expect = field(new_mesh.dof_coords(d));
+            if (new_vals[d] - expect).abs() > 1e-12 {
+                fail(
+                    &ctx,
+                    &format!(
+                        "post-transfer field wrong at dof {d}: {} vs {expect}",
+                        new_vals[d]
+                    ),
+                );
+            }
+        }
+        mesh = new_mesh;
+        vals = new_vals;
+    }
+    tree.global_count()
+}
+
+/// Run [`run_cycles`] on a fresh `p`-rank simulated communicator.
+pub fn fuzz_amr(p: usize, cfg: &FuzzConfig) {
+    let cfg = *cfg;
+    spmd::run(p, move |c| run_cycles(c, &cfg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_rank_independent() {
+        let o = Octant::root().child(3).child(5);
+        let a = roll(7, 2, 0xC0A5, &o);
+        let b = roll(7, 2, 0xC0A5, &o);
+        assert_eq!(a, b);
+        assert!(a < 100);
+        // Different salts decorrelate refine and coarsen decisions.
+        assert_ne!(roll(7, 2, 0xC0A5, &o), roll(7, 2, 0x5EF1, &o));
+    }
+
+    #[test]
+    fn one_quick_cycle_at_two_ranks() {
+        fuzz_amr(
+            2,
+            &FuzzConfig {
+                seed: 42,
+                cycles: 1,
+                level: 1,
+                max_level: 3,
+                ..Default::default()
+            },
+        );
+    }
+}

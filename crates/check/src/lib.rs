@@ -24,6 +24,11 @@
 //!   problem at several rank counts and asserts that the global leaf
 //!   set, the node numbering, and (to tolerance) solver residual series
 //!   are independent of P.
+//! * **Adaptation fuzzer** ([`fuzz_amr`]) — seeded property-based
+//!   mark→refine→coarsen→balance→partition→transfer cycles that assert
+//!   every checker, bitwise balance equality against the naive oracle,
+//!   and field-transfer conservation; failures replay from the
+//!   `(seed, cycle, p)` triple in the panic message.
 //!
 //! Fault injection lives in `scomm::fault` (it must interpose on the
 //! communicator internals); its smoke tests live here, where the full
@@ -41,6 +46,7 @@ use scomm::Comm;
 
 pub mod differential;
 pub mod forest_checks;
+pub mod fuzz_amr;
 pub mod mesh_checks;
 pub mod octree_checks;
 
@@ -127,8 +133,9 @@ pub fn guard_tree(
     assert_clean(tree.comm(), &v);
 }
 
-/// Stage guard over a forest: curve order and inter-tree 2:1 balance.
-/// Collective; panics on the first global violation.
+/// Stage guard over a forest: curve order, partition completeness, and
+/// inter-tree 2:1 balance. Collective; panics on the first global
+/// violation.
 pub fn guard_forest(
     forest: &forest::Forest,
     kind: octree::balance::BalanceKind,
@@ -136,6 +143,7 @@ pub fn guard_forest(
 ) {
     let _s = rec.map(|r| r.span_cat("check:forest", "check"));
     let mut v = forest_checks::morton_order(forest);
+    v.extend(forest_checks::partition(forest));
     v.extend(forest_checks::balance21(forest, kind));
     if let Some(r) = rec {
         report(r, &v);

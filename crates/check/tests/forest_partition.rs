@@ -1,0 +1,81 @@
+//! Forest partition edge cases, each checked against
+//! `check::forest_checks::partition` and leaf-count conservation.
+
+use std::sync::Arc;
+
+use check::forest_checks;
+use forest::{Connectivity, Forest};
+use octree::balance::BalanceKind;
+use scomm::spmd;
+
+fn assert_partition_clean(f: &Forest) {
+    let v = forest_checks::partition(f);
+    assert!(v.is_empty(), "partition checker found: {v:?}");
+    let v = forest_checks::morton_order(f);
+    assert!(v.is_empty(), "morton_order checker found: {v:?}");
+}
+
+/// A single-leaf forest on four ranks: three ranks stay empty through
+/// the partition, and the lone leaf must remain owned exactly once.
+#[test]
+fn single_leaf_forest_with_empty_ranks() {
+    let conn = Arc::new(Connectivity::brick(1, 1, 1));
+    spmd::run(4, |c| {
+        let mut f = Forest::new_uniform(c, conn.clone(), 0);
+        assert_eq!(f.global_count(), 1);
+        let plan = f.partition();
+        assert!(f.validate());
+        assert_eq!(f.global_count(), 1, "leaf count not conserved");
+        assert_eq!(plan.send_ranges.len(), 4);
+        assert_partition_clean(&f);
+        let owners: usize = c.allgatherv(&[f.local.len() as u64]).iter().sum::<u64>() as usize;
+        assert_eq!(owners, 1);
+    });
+}
+
+/// More ranks than initial leaves, then uneven refinement: empty send
+/// and receive ranks on both sides of the exchange.
+#[test]
+fn empty_ranks_refill_on_partition() {
+    let conn = Arc::new(Connectivity::brick(2, 1, 1));
+    spmd::run(6, |c| {
+        let mut f = Forest::new_uniform(c, conn.clone(), 0);
+        // Two leaves on six ranks: four ranks start empty.
+        assert_eq!(f.global_count(), 2);
+        f.refine(|l| l.tree == 0);
+        assert_eq!(f.global_count(), 9);
+        let n = f.global_count();
+        f.partition();
+        assert!(f.validate());
+        assert_eq!(f.global_count(), n, "leaf count not conserved");
+        assert_partition_clean(&f);
+        // An even split of 9 over 6 ranks leaves nobody with more than 2.
+        assert!(f.local.len() <= 2);
+    });
+}
+
+/// The already-balanced 24-tree cubed-sphere shell: balance adds
+/// nothing, and the partition is a fixed point of an even distribution.
+#[test]
+fn balanced_24_tree_shell_partition_is_stable() {
+    let conn = Arc::new(Connectivity::cubed_sphere(0.55, 1.0));
+    spmd::run(8, |c| {
+        let mut f = Forest::new_uniform(c, conn.clone(), 1);
+        assert_eq!(f.global_count(), 24 * 8);
+        let added = f.balance(BalanceKind::Full);
+        assert_eq!(added, 0, "uniform shell is already balanced");
+        let before = f.local.len();
+        let n = f.global_count();
+        let plan = f.partition();
+        assert!(f.validate());
+        assert_eq!(f.global_count(), n, "leaf count not conserved");
+        assert_eq!(f.local.len(), before, "even split must be a fixed point");
+        assert_eq!(plan.new_len, before);
+        // The identity partition sends everything to self.
+        let (s, e) = plan.send_ranges[c.rank()];
+        assert_eq!(e - s, before);
+        assert_partition_clean(&f);
+        let v = forest_checks::balance21(&f, BalanceKind::Full);
+        assert!(v.is_empty(), "balance checker found: {v:?}");
+    });
+}

@@ -64,6 +64,44 @@ impl ForestLeaf {
 /// Re-export of the partition plan shape shared with the octree crate.
 pub use octree::parallel::PartitionPlan;
 
+/// Grow-only scratch for the forest adaptation hot path, mirroring the
+/// octree crate's workspace discipline: once warm, balance and partition
+/// perform no steady-state heap allocation ([`Forest::alloc_bytes`]).
+#[derive(Default)]
+struct ForestWorkspace {
+    /// Swap partner for refine/coarsen rebuilds.
+    scratch: Vec<ForestLeaf>,
+    /// Per-destination staging of balance size-requests.
+    req_bufs: Vec<Vec<(ForestLeaf, u64)>>,
+    /// Flat balance exchange buffers.
+    send_flat: Vec<(ForestLeaf, u64)>,
+    send_counts: Vec<usize>,
+    recv_flat: Vec<(ForestLeaf, u64)>,
+    recv_counts: Vec<usize>,
+    /// Per-leaf refine flags.
+    to_refine: Vec<bool>,
+    /// Partition exchange buffers (the send side is `local` itself).
+    part_counts: Vec<usize>,
+    part_recv: Vec<ForestLeaf>,
+    part_recv_counts: Vec<usize>,
+}
+
+impl ForestWorkspace {
+    fn capacity_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        let mut b = cap(&self.scratch) + cap(&self.send_flat) + cap(&self.recv_flat);
+        b += cap(&self.send_counts) + cap(&self.recv_counts) + cap(&self.to_refine);
+        b += cap(&self.part_counts) + cap(&self.part_recv) + cap(&self.part_recv_counts);
+        b += cap(&self.req_bufs);
+        for v in &self.req_bufs {
+            b += cap(v);
+        }
+        b
+    }
+}
+
 /// A distributed forest of octrees on a simulated communicator.
 pub struct Forest<'c> {
     comm: &'c Comm,
@@ -73,6 +111,12 @@ pub struct Forest<'c> {
     /// Curve key of each rank's first leaf (`u128::MAX` when empty).
     markers: Vec<u128>,
     counts: Vec<u64>,
+    /// Marker gather buffer. A direct field (not part of the workspace) so
+    /// `update_markers` stays usable while the workspace is temporarily
+    /// moved out during balance/partition.
+    gather: Vec<u64>,
+    /// Grow-only adaptation scratch.
+    ws: ForestWorkspace,
 }
 
 impl<'c> Forest<'c> {
@@ -97,6 +141,8 @@ impl<'c> Forest<'c> {
             local,
             markers: Vec::new(),
             counts: Vec::new(),
+            gather: Vec::new(),
+            ws: ForestWorkspace::default(),
         };
         f.update_markers();
         f
@@ -113,22 +159,26 @@ impl<'c> Forest<'c> {
     }
 
     fn update_markers(&mut self) {
+        let comm = self.comm;
         let first = self
             .local
             .first()
             .map(|l| l.curve_key())
             .unwrap_or(u128::MAX);
-        let gathered =
-            self.comm
-                .allgatherv(&[(first >> 64) as u64, first as u64, self.local.len() as u64]);
-        let p = self.comm.size();
-        self.markers = vec![u128::MAX; p];
-        self.counts = vec![0; p];
+        comm.allgatherv_into(
+            &[(first >> 64) as u64, first as u64, self.local.len() as u64],
+            &mut self.gather,
+        );
+        let p = comm.size();
+        self.markers.clear();
+        self.markers.resize(p, u128::MAX);
+        self.counts.clear();
+        self.counts.resize(p, 0);
         for r in 0..p {
-            let hi = gathered[3 * r] as u128;
-            let lo = gathered[3 * r + 1] as u128;
+            let hi = self.gather[3 * r] as u128;
+            let lo = self.gather[3 * r + 1] as u128;
             self.markers[r] = (hi << 64) | lo;
-            self.counts[r] = gathered[3 * r + 2];
+            self.counts[r] = self.gather[3 * r + 2];
         }
         let mut next = u128::MAX;
         for r in (0..p).rev() {
@@ -148,6 +198,11 @@ impl<'c> Forest<'c> {
     /// Global index of this rank's first leaf.
     pub fn global_offset(&self) -> u64 {
         self.counts[..self.comm.rank()].iter().sum()
+    }
+
+    /// Replicated per-rank leaf counts (one entry per rank).
+    pub fn rank_counts(&self) -> &[u64] {
+        &self.counts
     }
 
     /// Rank owning the region of `leaf`.
@@ -217,9 +272,11 @@ impl<'c> Forest<'c> {
         }
     }
 
-    /// `RefineTree` on the forest: local, no communication.
+    /// `RefineTree` on the forest: local, no communication. Warm calls
+    /// reuse the workspace swap buffer and do not allocate.
     pub fn refine<F: FnMut(&ForestLeaf) -> bool>(&mut self, mut should_refine: F) -> usize {
-        let mut out = Vec::with_capacity(self.local.len());
+        let out = &mut self.ws.scratch;
+        out.clear();
         let mut count = 0;
         for &l in &self.local {
             if should_refine(&l) && l.oct.level < octree::MAX_LEVEL {
@@ -232,23 +289,38 @@ impl<'c> Forest<'c> {
                 out.push(l);
             }
         }
-        self.local = out;
+        std::mem::swap(&mut self.local, out);
         self.update_markers();
         count
     }
 
     /// `CoarsenTree` on the forest: merge complete same-tree families
-    /// whose eight leaves are all marked.
+    /// whose eight leaves are all marked. Warm calls reuse workspace
+    /// buffers and do not allocate.
     pub fn coarsen<F: FnMut(&ForestLeaf) -> bool>(&mut self, should_coarsen: F) -> usize {
-        let marks: Vec<bool> = self.local.iter().map(should_coarsen).collect();
-        let n = self.coarsen_marked(&marks);
+        let mut ws = std::mem::take(&mut self.ws);
+        ws.to_refine.clear();
+        ws.to_refine.extend(self.local.iter().map(should_coarsen));
+        let ForestWorkspace {
+            scratch, to_refine, ..
+        } = &mut ws;
+        let n = Self::coarsen_marked_into(&mut self.local, scratch, to_refine);
+        self.ws = ws;
         self.update_markers();
         n
     }
 
     fn coarsen_marked(&mut self, marks: &[bool]) -> usize {
-        let leaves = &self.local;
-        let mut out = Vec::with_capacity(leaves.len());
+        Self::coarsen_marked_into(&mut self.local, &mut self.ws.scratch, marks)
+    }
+
+    fn coarsen_marked_into(
+        local: &mut Vec<ForestLeaf>,
+        scratch: &mut Vec<ForestLeaf>,
+        marks: &[bool],
+    ) -> usize {
+        let leaves = &*local;
+        scratch.clear();
         let mut count = 0;
         let mut i = 0;
         while i < leaves.len() {
@@ -261,7 +333,7 @@ impl<'c> Forest<'c> {
                         && marks[i + k]
                 });
                 if ok {
-                    out.push(ForestLeaf {
+                    scratch.push(ForestLeaf {
                         tree: l.tree,
                         oct: parent,
                     });
@@ -270,10 +342,10 @@ impl<'c> Forest<'c> {
                     continue;
                 }
             }
-            out.push(l);
+            scratch.push(l);
             i += 1;
         }
-        self.local = out;
+        std::mem::swap(local, scratch);
         count
     }
 
@@ -316,22 +388,28 @@ impl<'c> Forest<'c> {
     /// between trees. Returns leaves added globally.
     pub fn balance(&mut self, kind: BalanceKind) -> u64 {
         let before = self.global_count();
-        let dirs = kind.directions();
+        let dirs = kind.direction_slice();
         let p = self.comm.size();
+        let me = self.comm.rank();
+        let mut ws = std::mem::take(&mut self.ws);
+        if ws.req_bufs.len() < p {
+            ws.req_bufs.resize_with(p, Vec::new);
+        }
         loop {
             let mut changed_local = true;
             // Local fixpoint: within this rank's leaves (any tree).
             while changed_local {
                 changed_local = false;
-                let mut to_refine = vec![false; self.local.len()];
+                ws.to_refine.clear();
+                ws.to_refine.resize(self.local.len(), false);
                 for l in &self.local {
-                    for &(dx, dy, dz) in &dirs {
+                    for &(dx, dy, dz) in dirs {
                         let Some(n) = self.neighbor(l, dx, dy, dz) else {
                             continue;
                         };
                         if let Some(i) = self.find_containing(&n) {
-                            if self.local[i].oct.level + 1 < l.oct.level && !to_refine[i] {
-                                to_refine[i] = true;
+                            if self.local[i].oct.level + 1 < l.oct.level && !ws.to_refine[i] {
+                                ws.to_refine[i] = true;
                                 changed_local = true;
                             }
                         }
@@ -339,36 +417,48 @@ impl<'c> Forest<'c> {
                 }
                 if changed_local {
                     let mut i = 0;
-                    self.refine_flags_no_marker(&to_refine, &mut i);
+                    self.refine_flags_no_marker(&ws.to_refine, &mut ws.scratch, &mut i);
                 }
             }
             self.update_markers();
 
-            // Remote requests.
-            let mut outgoing: Vec<Vec<(ForestLeaf, u64)>> = vec![Vec::new(); p];
+            // Remote requests, exchanged through the flat reusable buffers.
+            for buf in &mut ws.req_bufs {
+                buf.clear();
+            }
             for l in &self.local {
-                for &(dx, dy, dz) in &dirs {
+                for &(dx, dy, dz) in dirs {
                     let Some(n) = self.neighbor(l, dx, dy, dz) else {
                         continue;
                     };
                     let (rlo, rhi) = self.owner_range(&n);
                     for r in rlo..=rhi {
-                        if r != self.comm.rank() {
-                            outgoing[r].push((n, l.oct.level as u64));
+                        if r != me {
+                            ws.req_bufs[r].push((n, l.oct.level as u64));
                         }
                     }
                 }
             }
-            let incoming = self.comm.alltoallv(&outgoing);
-            let mut to_refine = vec![false; self.local.len()];
+            ws.send_flat.clear();
+            ws.send_counts.clear();
+            for buf in &ws.req_bufs[..p] {
+                ws.send_counts.push(buf.len());
+                ws.send_flat.extend_from_slice(buf);
+            }
+            self.comm.alltoallv_flat(
+                &ws.send_flat,
+                &ws.send_counts,
+                &mut ws.recv_flat,
+                &mut ws.recv_counts,
+            );
+            ws.to_refine.clear();
+            ws.to_refine.resize(self.local.len(), false);
             let mut changed = 0u64;
-            for reqs in &incoming {
-                for &(n, lvl) in reqs {
-                    if let Some(i) = self.find_containing(&n) {
-                        if (self.local[i].oct.level as u64) + 1 < lvl && !to_refine[i] {
-                            to_refine[i] = true;
-                            changed += 1;
-                        }
+            for &(n, lvl) in &ws.recv_flat {
+                if let Some(i) = self.find_containing(&n) {
+                    if (self.local[i].oct.level as u64) + 1 < lvl && !ws.to_refine[i] {
+                        ws.to_refine[i] = true;
+                        changed += 1;
                     }
                 }
             }
@@ -378,10 +468,11 @@ impl<'c> Forest<'c> {
             }
             if changed > 0 {
                 let mut i = 0;
-                self.refine_flags_no_marker(&to_refine, &mut i);
+                self.refine_flags_no_marker(&ws.to_refine, &mut ws.scratch, &mut i);
             }
             self.update_markers();
         }
+        self.ws = ws;
         #[cfg(debug_assertions)]
         if scomm::checks_enabled() {
             assert!(self.validate(), "forest invariants violated after balance");
@@ -389,50 +480,73 @@ impl<'c> Forest<'c> {
         self.global_count() - before
     }
 
-    fn refine_flags_no_marker(&mut self, flags: &[bool], cursor: &mut usize) {
-        let mut out = Vec::with_capacity(self.local.len());
+    fn refine_flags_no_marker(
+        &mut self,
+        flags: &[bool],
+        scratch: &mut Vec<ForestLeaf>,
+        cursor: &mut usize,
+    ) {
+        scratch.clear();
         for &l in &self.local {
             if flags[*cursor] {
-                out.extend(l.oct.children().into_iter().map(|c| ForestLeaf {
+                scratch.extend(l.oct.children().into_iter().map(|c| ForestLeaf {
                     tree: l.tree,
                     oct: c,
                 }));
             } else {
-                out.push(l);
+                scratch.push(l);
             }
             *cursor += 1;
         }
-        self.local = out;
+        std::mem::swap(&mut self.local, scratch);
     }
 
     /// `PartitionTree` on the forest: equal share of the curve per rank.
     pub fn partition(&mut self) -> PartitionPlan {
+        let mut plan = PartitionPlan {
+            send_ranges: Vec::new(),
+            new_len: 0,
+        };
+        self.partition_with(&mut plan);
+        plan
+    }
+
+    /// [`Forest::partition`] writing the plan into a caller-provided value
+    /// (ranges cleared first, capacity reused). As in the octree crate,
+    /// the send ranges tile the local leaf array contiguously in rank
+    /// order, so `local` itself is the flat send buffer — no packing copy,
+    /// and warm calls do not allocate.
+    pub fn partition_with(&mut self, plan: &mut PartitionPlan) {
         let p = self.comm.size() as u64;
         let n = self.global_count();
         let my_off = self.global_offset();
         let my_len = self.local.len() as u64;
         let target_lo = |r: u64| (n * r) / p;
-        let mut send_ranges = vec![(0usize, 0usize); p as usize];
-        let mut outgoing: Vec<Vec<ForestLeaf>> = vec![Vec::new(); p as usize];
+        let mut ws = std::mem::take(&mut self.ws);
+        plan.send_ranges.clear();
+        ws.part_counts.clear();
         for r in 0..p {
             let lo = target_lo(r).max(my_off);
             let hi = target_lo(r + 1).min(my_off + my_len);
             if lo < hi {
                 let s = (lo - my_off) as usize;
                 let e = (hi - my_off) as usize;
-                send_ranges[r as usize] = (s, e);
-                outgoing[r as usize] = self.local[s..e].to_vec();
+                plan.send_ranges.push((s, e));
+                ws.part_counts.push(e - s);
             } else {
                 let s = (lo.min(my_off + my_len).max(my_off) - my_off) as usize;
-                send_ranges[r as usize] = (s, s);
+                plan.send_ranges.push((s, s));
+                ws.part_counts.push(0);
             }
         }
-        let incoming = self.comm.alltoallv(&outgoing);
-        let mut new_local = Vec::with_capacity((n / p + 1) as usize);
-        for part in incoming {
-            new_local.extend(part);
-        }
-        self.local = new_local;
+        self.comm.alltoallv_flat(
+            &self.local,
+            &ws.part_counts,
+            &mut ws.part_recv,
+            &mut ws.part_recv_counts,
+        );
+        std::mem::swap(&mut self.local, &mut ws.part_recv);
+        self.ws = ws;
         self.update_markers();
         #[cfg(debug_assertions)]
         if scomm::checks_enabled() {
@@ -441,10 +555,21 @@ impl<'c> Forest<'c> {
                 "forest invariants violated after partition"
             );
         }
-        PartitionPlan {
-            send_ranges,
-            new_len: self.local.len(),
+        plan.new_len = self.local.len();
+    }
+
+    /// Heap capacity currently held by this forest's tracked buffers, in
+    /// bytes; its growth across a warm adapt cycle must be zero at steady
+    /// state (the forest's contribution to `amr.alloc_bytes`).
+    pub fn alloc_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
         }
+        self.ws.capacity_bytes()
+            + cap(&self.local)
+            + cap(&self.markers)
+            + cap(&self.counts)
+            + cap(&self.gather)
     }
 
     /// Ghost layer: remote leaves adjacent (within-tree 26-neighborhood or
@@ -692,6 +817,39 @@ mod tests {
             for (owner, g) in &ghosts {
                 assert_ne!(*owner, c.rank());
                 assert_eq!(f.owner_of(g), *owner);
+            }
+        });
+    }
+
+    #[test]
+    fn warm_forest_cycle_does_not_allocate() {
+        let conn = sphere();
+        spmd::run(4, |c| {
+            let mut f = Forest::new_uniform(c, conn.clone(), 1);
+            let mut plan = PartitionPlan {
+                send_ranges: Vec::new(),
+                new_len: 0,
+            };
+            // Deterministic geometric cycle: reaches a periodic orbit, so
+            // after warm-up no buffer finds a new capacity maximum.
+            let cycle = |f: &mut Forest, plan: &mut PartitionPlan| {
+                f.refine(|l| l.oct.level < 3 && l.tree < 6 && l.oct.x < ROOT_LEN / 2);
+                f.coarsen(|l| l.oct.level > 1 && l.tree >= 12);
+                f.balance(BalanceKind::Full);
+                f.partition_with(plan);
+            };
+            for _ in 0..3 {
+                cycle(&mut f, &mut plan);
+            }
+            let baseline = f.alloc_bytes();
+            for _ in 0..4 {
+                cycle(&mut f, &mut plan);
+                assert_eq!(
+                    f.alloc_bytes(),
+                    baseline,
+                    "warm forest adapt cycle allocated (rank {})",
+                    c.rank()
+                );
             }
         });
     }

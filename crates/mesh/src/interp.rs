@@ -62,8 +62,19 @@ fn eval_at(old: &Mesh, old_vals: &[f64], p: (u32, u32, u32)) -> Option<f64> {
 /// Requires that `new` was extracted from the same octree partition as
 /// `old` after at most one adaptation step and **before** repartitioning.
 pub fn interpolate_node_field(old: &Mesh, old_vals: &[f64], new: &Mesh) -> Vec<f64> {
+    let mut out = Vec::new();
+    interpolate_node_field_into(old, old_vals, new, &mut out);
+    out
+}
+
+/// [`interpolate_node_field`] writing into a caller-provided buffer
+/// (cleared first, capacity reused): warm calls do not allocate, which
+/// makes this the field-transfer kernel of the zero-allocation adapt
+/// cycle.
+pub fn interpolate_node_field_into(old: &Mesh, old_vals: &[f64], new: &Mesh, out: &mut Vec<f64>) {
     assert_eq!(old_vals.len(), old.n_local());
-    let mut out = vec![0.0; new.n_local()];
+    out.clear();
+    out.resize(new.n_local(), 0.0);
     for d in 0..new.n_owned {
         let p = node_coords(new.dof_keys[d]);
         out[d] = eval_at(old, old_vals, p).unwrap_or_else(|| {
@@ -74,7 +85,6 @@ pub fn interpolate_node_field(old: &Mesh, old_vals: &[f64], new: &Mesh) -> Vec<f
             )
         });
     }
-    out
 }
 
 #[cfg(test)]
@@ -143,6 +153,95 @@ mod tests {
                 }) {
                     assert!((w[d] - v[j]).abs() < 1e-13, "old node value changed");
                 }
+            }
+        });
+    }
+
+    /// Golden round trip: coarsen one level everywhere, transfer, refine
+    /// back, transfer again. Trilinear interpolation reproduces the
+    /// discretization-order space span{1,x,y,z,xy,xz,yz,xyz} exactly, so a
+    /// field with all eight coefficients nonzero must survive the round
+    /// trip to 1e-12, serially and on four ranks.
+    #[test]
+    fn coarsen_refine_round_trip_exact_trilinear() {
+        for p in [1usize, 4] {
+            spmd::run(p, |c| {
+                let f = |q: [f64; 3]| {
+                    1.0 + 2.0 * q[0] - q[1] + 0.5 * q[2] + 3.0 * q[0] * q[1] - 2.0 * q[1] * q[2]
+                        + q[0] * q[2]
+                        + 4.0 * q[0] * q[1] * q[2]
+                };
+                let mut t = DistOctree::new_uniform(c, 2);
+                let m_fine = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let mut v = vec![0.0; m_fine.n_local()];
+                for d in 0..m_fine.n_owned {
+                    v[d] = f(m_fine.dof_coords(d));
+                }
+                m_fine.exchange.exchange(c, &mut v, m_fine.n_owned);
+
+                t.coarsen(|_| true);
+                let m_coarse = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let mut vc = Vec::new();
+                interpolate_node_field_into(&m_fine, &v, &m_coarse, &mut vc);
+                m_coarse.exchange.exchange(c, &mut vc, m_coarse.n_owned);
+
+                t.refine(|_| true);
+                let m_back = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let mut vb = Vec::new();
+                interpolate_node_field_into(&m_coarse, &vc, &m_back, &mut vb);
+                for d in 0..m_back.n_owned {
+                    let expect = f(m_back.dof_coords(d));
+                    assert!(
+                        (vb[d] - expect).abs() < 1e-12,
+                        "P={p} dof {d}: {} vs {expect}",
+                        vb[d]
+                    );
+                }
+            });
+        }
+    }
+
+    /// Pinned values on one known tree: the root element with corner
+    /// values [3,1,4,1,5,9,2,6] (corner index = xbit + 2·ybit + 4·zbit) is
+    /// refined once; the midpoint nodes must carry the hand-computed
+    /// trilinear averages.
+    #[test]
+    fn pinned_refinement_values_on_known_tree() {
+        spmd::run(1, |c| {
+            let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+            let mut t = DistOctree::new_uniform(c, 0);
+            let old_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            assert_eq!(old_mesh.n_owned, 8);
+            let mut v = vec![0.0; old_mesh.n_local()];
+            for d in 0..old_mesh.n_owned {
+                let q = old_mesh.dof_coords(d);
+                let ci = (q[0] > 0.5) as usize
+                    | ((q[1] > 0.5) as usize) << 1
+                    | ((q[2] > 0.5) as usize) << 2;
+                v[d] = vals[ci];
+            }
+            t.refine(|_| true);
+            let new_mesh = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let w = interpolate_node_field(&old_mesh, &v, &new_mesh);
+            // Hand-computed: cell center = mean of all 8; face centers and
+            // edge midpoints = means of their 4 resp. 2 corners.
+            let pinned: [([f64; 3], f64); 7] = [
+                ([0.5, 0.5, 0.5], 3.875), // (3+1+4+1+5+9+2+6)/8
+                ([0.5, 0.0, 0.0], 2.0),   // (3+1)/2
+                ([0.5, 0.5, 0.0], 2.25),  // (3+1+4+1)/4
+                ([0.0, 0.5, 0.5], 3.5),   // (3+4+5+2)/4
+                ([1.0, 0.5, 1.0], 7.5),   // (9+6)/2
+                ([0.0, 0.0, 0.0], 3.0),
+                ([1.0, 1.0, 1.0], 6.0),
+            ];
+            for (q, expect) in pinned {
+                let d = (0..new_mesh.n_owned)
+                    .find(|&d| {
+                        let r = new_mesh.dof_coords(d);
+                        (r[0] - q[0]).abs() + (r[1] - q[1]).abs() + (r[2] - q[2]).abs() < 1e-14
+                    })
+                    .unwrap_or_else(|| panic!("no dof at {q:?}"));
+                assert_eq!(w[d], expect, "node {q:?}");
             }
         });
     }

@@ -7,12 +7,33 @@
 //! the full 26-neighbor balance by default, which implies the weaker two
 //! and keeps hanging-node constraints local to faces and edges.
 //!
-//! Balance only ever *refines* (adds leaves); this is the "ripple" part of
-//! the paper's prioritized ripple propagation: refining a leaf can trigger
-//! refinement of its coarser neighbors in the next sweep, and the number of
-//! sweeps is bounded by the number of levels in the tree.
+//! Balance only ever *refines* (adds leaves), and the minimal balanced
+//! refinement of a complete linear octree is unique. Three algorithms
+//! compute it here:
+//!
+//! * [`balance_local_kind`] — the fast path: recursive sorted-merge
+//!   *seed-set propagation*. Every input leaf seeds a demand "this region
+//!   holds leaves at level ≥ k"; demands propagate coarser one level at a
+//!   time through the closure rule `w ∈ D at level k ⟹
+//!   parent(w).neighbor(d) ∈ D at level k−1` for every direction `d` of
+//!   the balance kind. The output is rebuilt in one pass by recursively
+//!   splitting each input leaf wherever a strictly finer demand lands
+//!   inside it (binary-searched ranges over the sorted demand array). No
+//!   per-octant neighbor probes against the leaf array, no fixpoint
+//!   sweeps over the whole tree.
+//! * [`balance_local_ripple_kind`] — the PR 3 buffered ripple sweep
+//!   (refine all violators per round, repeat until clean), retained as
+//!   the benchmark baseline.
+//! * [`balance_local_naive_kind`] — one violator at a time with a full
+//!   rescan: the differential oracle. Slowest, simplest, and shares the
+//!   same [`BalanceKind`] direction selection as the other two so all
+//!   three are comparable for every kind.
+//!
+//! Uniqueness of the minimal balanced refinement means the three must
+//! agree *bitwise*; `check::fuzz_amr` and the proptests in this crate
+//! enforce exactly that.
 
-use crate::morton::Octant;
+use crate::morton::{Octant, MAX_LEVEL};
 use crate::ops::find_containing;
 
 /// Which neighbor set participates in the 2:1 condition.
@@ -26,19 +47,64 @@ pub enum BalanceKind {
     Full,
 }
 
+/// All 26 displacement triples in `neighbor_directions()` order
+/// (z outermost, x innermost), computed at compile time.
+const ALL_DIRS: [(i32, i32, i32); 26] = build_all_dirs();
+
+const fn build_all_dirs() -> [(i32, i32, i32); 26] {
+    let mut out = [(0, 0, 0); 26];
+    let mut n = 0;
+    let mut dz = -1;
+    while dz <= 1 {
+        let mut dy = -1;
+        while dy <= 1 {
+            let mut dx = -1;
+            while dx <= 1 {
+                if !(dx == 0 && dy == 0 && dz == 0) {
+                    out[n] = (dx, dy, dz);
+                    n += 1;
+                }
+                dx += 1;
+            }
+            dy += 1;
+        }
+        dz += 1;
+    }
+    out
+}
+
+const fn filter_dirs<const N: usize>(max_order: i32) -> [(i32, i32, i32); N] {
+    let mut out = [(0, 0, 0); N];
+    let mut n = 0;
+    let mut i = 0;
+    while i < 26 {
+        let (dx, dy, dz) = ALL_DIRS[i];
+        if dx.abs() + dy.abs() + dz.abs() <= max_order {
+            out[n] = ALL_DIRS[i];
+            n += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+const FACE_DIRS: [(i32, i32, i32); 6] = filter_dirs::<6>(1);
+const FACE_EDGE_DIRS: [(i32, i32, i32); 18] = filter_dirs::<18>(2);
+
 impl BalanceKind {
+    /// The displacement triples of this neighbor set, as a static slice
+    /// (allocation-free; the order matches `neighbor_directions()`).
+    pub fn direction_slice(self) -> &'static [(i32, i32, i32)] {
+        match self {
+            BalanceKind::Face => &FACE_DIRS,
+            BalanceKind::FaceEdge => &FACE_EDGE_DIRS,
+            BalanceKind::Full => &ALL_DIRS,
+        }
+    }
+
     /// The displacement triples of this neighbor set.
     pub fn directions(self) -> Vec<(i32, i32, i32)> {
-        Octant::neighbor_directions()
-            .filter(move |&(dx, dy, dz)| {
-                let order = dx.abs() + dy.abs() + dz.abs();
-                match self {
-                    BalanceKind::Face => order == 1,
-                    BalanceKind::FaceEdge => order <= 2,
-                    BalanceKind::Full => true,
-                }
-            })
-            .collect()
+        self.direction_slice().to_vec()
     }
 }
 
@@ -66,13 +132,168 @@ fn violating_leaves(leaves: &[Octant], dirs: &[(i32, i32, i32)]) -> Vec<usize> {
         .collect()
 }
 
+/// Grow-only scratch buffers for [`balance_local_kind_ws`]. Reusing one
+/// workspace across adapt cycles makes warm balance calls allocation-free
+/// once the buffers have reached their steady-state capacity.
+#[derive(Default)]
+pub struct BalanceWorkspace {
+    /// Per-level demand buckets (index = level).
+    buckets: Vec<Vec<Octant>>,
+    /// Merged, sorted demand set.
+    demands: Vec<Octant>,
+    /// Output leaf buffer; swapped with the caller's vector on return.
+    out: Vec<Octant>,
+}
+
+impl BalanceWorkspace {
+    pub fn new() -> BalanceWorkspace {
+        BalanceWorkspace::default()
+    }
+
+    /// Total heap capacity currently held, in bytes. The `amr.alloc_bytes`
+    /// counter reports growth of this value across a warm adapt cycle.
+    pub fn capacity_bytes(&self) -> u64 {
+        let oct = std::mem::size_of::<Octant>() as u64;
+        let mut b = (self.demands.capacity() + self.out.capacity()) as u64 * oct;
+        b += (self.buckets.capacity() * std::mem::size_of::<Vec<Octant>>()) as u64;
+        for v in &self.buckets {
+            b += v.capacity() as u64 * oct;
+        }
+        b
+    }
+}
+
+/// Recursively rebuild the subtree of `v`: split wherever a demand in
+/// `demands` (all strict descendants of `v`, sorted) forces finer leaves.
+fn emit_completed(v: Octant, demands: &[Octant], out: &mut Vec<Octant>) {
+    if demands.is_empty() {
+        out.push(v);
+        return;
+    }
+    debug_assert!(v.level < MAX_LEVEL, "demand below MAX_LEVEL leaf");
+    let mut rest = demands;
+    for i in 0..8u8 {
+        let c = v.child(i);
+        // Demands belonging to child `c` occupy a contiguous key range
+        // [c.key(), c.last_descendant().key()]; children are visited in
+        // Morton order, so a moving split point suffices.
+        let last_key = c.last_descendant().key();
+        let hi = rest.partition_point(|s| s.key() <= last_key);
+        let (mine, tail) = rest.split_at(hi);
+        rest = tail;
+        // Entries at or above c's level share c's anchor and cannot force
+        // a split of c; they sort first within the range.
+        let mut lo = 0;
+        while lo < mine.len() && mine[lo].level <= c.level {
+            lo += 1;
+        }
+        emit_completed(c, &mine[lo..], out);
+    }
+}
+
+/// Fast balance of a complete local octree in place: seed-set propagation
+/// plus recursive completion (see module docs). Scratch comes from `ws`;
+/// warm calls with a retained workspace do not allocate. Returns the
+/// number of leaves added.
+pub fn balance_local_kind_ws(
+    leaves: &mut Vec<Octant>,
+    kind: BalanceKind,
+    ws: &mut BalanceWorkspace,
+) -> usize {
+    let before = leaves.len();
+    if before <= 1 {
+        return 0; // a root-only (or empty) tree is trivially balanced
+    }
+    let dirs = kind.direction_slice();
+
+    while ws.buckets.len() <= MAX_LEVEL as usize {
+        ws.buckets.push(Vec::new());
+    }
+    for b in &mut ws.buckets {
+        b.clear();
+    }
+    ws.demands.clear();
+
+    // Seed: every input leaf demands its own level over its own region.
+    let mut max_level = 0u8;
+    for o in leaves.iter() {
+        if o.level >= 2 {
+            ws.buckets[o.level as usize].push(*o);
+        }
+        max_level = max_level.max(o.level);
+    }
+
+    // Propagate finest → coarsest. A demand `w` at level k forces every
+    // kind-neighbor of parent(w) to hold leaves at level ≥ k−1: octree
+    // completeness refines the whole parent region to ≥ k, and every
+    // neighbor of a level-k leaf inside it resolves to one of those
+    // parent-neighbors (the parent rule also covers leaves created
+    // *collaterally* by completion, which a same-level neighbor rule
+    // misses).
+    let mut k = max_level as usize;
+    while k >= 2 {
+        let (lower, upper) = ws.buckets.split_at_mut(k);
+        let cur = &mut upper[0];
+        let down = &mut lower[k - 1];
+        cur.sort_unstable();
+        cur.dedup();
+        // Siblings propagate identically; sorted order keeps them
+        // adjacent, so deduplicate by parent on the fly.
+        let mut last_parent: Option<Octant> = None;
+        for w in cur.iter() {
+            let p = w.parent();
+            if last_parent == Some(p) {
+                continue;
+            }
+            last_parent = Some(p);
+            for &(dx, dy, dz) in dirs {
+                if let Some(nb) = p.neighbor(dx, dy, dz) {
+                    down.push(nb);
+                }
+            }
+        }
+        k -= 1;
+    }
+
+    // Merge the per-level buckets into one demand array sorted in octree
+    // pre-order (key, then level) for range queries.
+    for b in &ws.buckets {
+        ws.demands.extend_from_slice(b);
+    }
+    ws.demands.sort_unstable();
+    ws.demands.dedup();
+
+    // Rebuild: each input leaf is split exactly where a strictly finer
+    // demand lands inside it. Demands strictly inside leaf L are exactly
+    // those sorting after L with keys ≤ L's last-descendant key.
+    ws.out.clear();
+    for i in 0..leaves.len() {
+        let leaf = leaves[i];
+        let lo = ws.demands.partition_point(|s| *s <= leaf);
+        let last_key = leaf.last_descendant().key();
+        let hi = ws.demands.partition_point(|s| s.key() <= last_key);
+        emit_completed(leaf, &ws.demands[lo..hi], &mut ws.out);
+    }
+    std::mem::swap(leaves, &mut ws.out);
+    leaves.len() - before
+}
+
 /// Balance a complete local octree in place with the given neighbor set.
-/// Returns the number of leaves added.
+/// Returns the number of leaves added. Convenience wrapper over
+/// [`balance_local_kind_ws`] with a throwaway workspace.
 pub fn balance_local_kind(leaves: &mut Vec<Octant>, kind: BalanceKind) -> usize {
-    let dirs = kind.directions();
+    let mut ws = BalanceWorkspace::new();
+    balance_local_kind_ws(leaves, kind, &mut ws)
+}
+
+/// Buffered ripple balance (the PR 3 algorithm, retained as the benchmark
+/// baseline): refine every violator per sweep, repeat until clean. Same
+/// unique result as [`balance_local_kind`], much more work per round.
+pub fn balance_local_ripple_kind(leaves: &mut Vec<Octant>, kind: BalanceKind) -> usize {
+    let dirs = kind.direction_slice();
     let before = leaves.len();
     loop {
-        let viol = violating_leaves(leaves, &dirs);
+        let viol = violating_leaves(leaves, dirs);
         if viol.is_empty() {
             break;
         }
@@ -99,9 +320,9 @@ pub fn balance_local(leaves: &mut Vec<Octant>) -> usize {
 
 /// Check the 2:1 condition for the given neighbor set.
 pub fn is_balanced_kind(leaves: &[Octant], kind: BalanceKind) -> bool {
-    let dirs = kind.directions();
+    let dirs = kind.direction_slice();
     for o in leaves {
-        for &(dx, dy, dz) in &dirs {
+        for &(dx, dy, dz) in dirs {
             let Some(n) = o.neighbor(dx, dy, dz) else {
                 continue;
             };
@@ -120,14 +341,15 @@ pub fn is_balanced(leaves: &[Octant]) -> bool {
     is_balanced_kind(leaves, BalanceKind::Full)
 }
 
-/// Naive reference balance used by the `ablation_balance` bench: refine
-/// one violator at a time and restart the scan. Same result, much more
-/// work — it motivates the paper's buffered, level-by-level approach.
-pub fn balance_local_naive(leaves: &mut Vec<Octant>) -> usize {
-    let dirs = BalanceKind::Full.directions();
+/// Naive reference balance — the differential oracle: refine one violator
+/// at a time and restart the scan. Shares the [`BalanceKind`] direction
+/// selection with the fast and ripple paths so all three are comparable
+/// for every kind. Same (unique) result, much more work.
+pub fn balance_local_naive_kind(leaves: &mut Vec<Octant>, kind: BalanceKind) -> usize {
+    let dirs = kind.direction_slice();
     let before = leaves.len();
     'outer: loop {
-        let viol = violating_leaves(leaves, &dirs);
+        let viol = violating_leaves(leaves, dirs);
         match viol.first() {
             None => break 'outer,
             Some(&i) => {
@@ -137,6 +359,11 @@ pub fn balance_local_naive(leaves: &mut Vec<Octant>) -> usize {
         }
     }
     leaves.len() - before
+}
+
+/// Naive reference balance with the full 26-neighbor condition.
+pub fn balance_local_naive(leaves: &mut Vec<Octant>) -> usize {
+    balance_local_naive_kind(leaves, BalanceKind::Full)
 }
 
 #[cfg(test)]
@@ -221,9 +448,51 @@ mod tests {
     }
 
     #[test]
+    fn fast_matches_ripple_and_naive_all_kinds() {
+        for depth in [3u8, 5, 6] {
+            for kind in [BalanceKind::Face, BalanceKind::FaceEdge, BalanceKind::Full] {
+                let mut fast = center_spike(depth);
+                let mut ripple = fast.clone();
+                let mut naive = fast.clone();
+                let n_fast = balance_local_kind(&mut fast, kind);
+                let n_ripple = balance_local_ripple_kind(&mut ripple, kind);
+                let n_naive = balance_local_naive_kind(&mut naive, kind);
+                assert_eq!(fast, ripple, "fast vs ripple, depth {depth}, {kind:?}");
+                assert_eq!(fast, naive, "fast vs naive, depth {depth}, {kind:?}");
+                assert_eq!(n_fast, n_ripple);
+                assert_eq!(n_fast, n_naive);
+                assert!(is_balanced_kind(&fast, kind));
+                assert!(is_complete(&fast));
+                assert!(is_valid_linear(&fast));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_balance_warm_calls_do_not_grow_workspace() {
+        // The output buffer is swapped with the caller's vector, so the
+        // zero-allocation contract is on the closed system {leaf vector,
+        // workspace}: its total capacity stops growing once warm.
+        let sys_cap = |t: &Vec<Octant>, ws: &BalanceWorkspace| {
+            ws.capacity_bytes() + (t.capacity() * std::mem::size_of::<Octant>()) as u64
+        };
+        let mut ws = BalanceWorkspace::new();
+        let mut t = center_spike(6);
+        balance_local_kind_ws(&mut t, BalanceKind::Full, &mut ws);
+        balance_local_kind_ws(&mut t, BalanceKind::Full, &mut ws);
+        let cap = sys_cap(&t, &ws);
+        balance_local_kind_ws(&mut t, BalanceKind::Full, &mut ws);
+        balance_local_kind_ws(&mut t, BalanceKind::Full, &mut ws);
+        assert_eq!(sys_cap(&t, &ws), cap, "warm balance must not allocate");
+    }
+
+    #[test]
     fn direction_counts() {
         assert_eq!(BalanceKind::Face.directions().len(), 6);
         assert_eq!(BalanceKind::FaceEdge.directions().len(), 18);
         assert_eq!(BalanceKind::Full.directions().len(), 26);
+        // Static slices match the iterator-derived sets order-for-order.
+        let all: Vec<_> = Octant::neighbor_directions().collect();
+        assert_eq!(BalanceKind::Full.direction_slice(), &all[..]);
     }
 }

@@ -99,6 +99,20 @@ pub fn mark_elements(
     indicators: &[f64],
     params: &MarkParams,
 ) -> Vec<Mark> {
+    let mut marks = Vec::new();
+    mark_elements_into(comm, leaves, indicators, params, &mut marks);
+    marks
+}
+
+/// [`mark_elements`] writing into a caller-provided buffer (cleared first,
+/// capacity reused): warm calls do not allocate.
+pub fn mark_elements_into(
+    comm: &Comm,
+    leaves: &[Octant],
+    indicators: &[f64],
+    params: &MarkParams,
+    marks: &mut Vec<Mark>,
+) {
     assert_eq!(leaves.len(), indicators.len());
     let n_global = comm.allreduce_sum(&[leaves.len() as u64])[0];
     let local_max = indicators.iter().cloned().fold(0.0f64, f64::max);
@@ -140,7 +154,8 @@ pub fn mark_elements(
     let theta_c = theta * params.coarsen_ratio;
 
     // Emit the marks for the chosen thresholds, family-consistent.
-    let mut marks = vec![Mark::None; leaves.len()];
+    marks.clear();
+    marks.resize(leaves.len(), Mark::None);
     for (i, (o, &eta)) in leaves.iter().zip(indicators).enumerate() {
         if eta > theta && o.level < params.max_level {
             marks[i] = Mark::Refine;
@@ -163,7 +178,6 @@ pub fn mark_elements(
         }
         i += 1;
     }
-    marks
 }
 
 #[cfg(test)]

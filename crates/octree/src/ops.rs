@@ -22,20 +22,32 @@ pub fn new_tree(level: u8) -> Vec<Octant> {
 /// Refine every leaf for which `should_refine` returns true, replacing it
 /// by its eight children. Leaves already at `MAX_LEVEL` are never refined.
 /// Returns the number of leaves refined.
-pub fn refine<F: FnMut(&Octant) -> bool>(leaves: &mut Vec<Octant>, mut should_refine: F) -> usize {
-    let mut out = Vec::with_capacity(leaves.len());
+pub fn refine<F: FnMut(&Octant) -> bool>(leaves: &mut Vec<Octant>, should_refine: F) -> usize {
+    let mut scratch = Vec::with_capacity(leaves.len());
+    refine_with(leaves, &mut scratch, should_refine)
+}
+
+/// [`refine`] writing through a caller-provided scratch buffer, which is
+/// swapped with `leaves` on return. Reusing one scratch across calls keeps
+/// the {leaves, scratch} pair grow-only: warm calls never allocate.
+pub fn refine_with<F: FnMut(&Octant) -> bool>(
+    leaves: &mut Vec<Octant>,
+    scratch: &mut Vec<Octant>,
+    mut should_refine: F,
+) -> usize {
+    scratch.clear();
     let mut count = 0;
     for &o in leaves.iter() {
         // Evaluate the predicate exactly once per leaf, in order, so that
         // index-driven closures stay aligned even for depth-capped leaves.
         if should_refine(&o) && o.level < MAX_LEVEL {
-            out.extend_from_slice(&o.children());
+            scratch.extend_from_slice(&o.children());
             count += 1;
         } else {
-            out.push(o);
+            scratch.push(o);
         }
     }
-    *leaves = out;
+    std::mem::swap(leaves, scratch);
     count
 }
 
@@ -52,8 +64,19 @@ pub fn coarsen<F: FnMut(&Octant) -> bool>(leaves: &mut Vec<Octant>, should_coars
 
 /// [`coarsen`] with precomputed per-leaf marks (one per leaf, in order).
 pub fn coarsen_marked(leaves: &mut Vec<Octant>, marks: &[bool]) -> usize {
+    let mut scratch = Vec::with_capacity(leaves.len());
+    coarsen_marked_with(leaves, &mut scratch, marks)
+}
+
+/// [`coarsen_marked`] writing through a caller-provided scratch buffer,
+/// swapped with `leaves` on return (see [`refine_with`]).
+pub fn coarsen_marked_with(
+    leaves: &mut Vec<Octant>,
+    scratch: &mut Vec<Octant>,
+    marks: &[bool],
+) -> usize {
     assert_eq!(leaves.len(), marks.len());
-    let mut out = Vec::with_capacity(leaves.len());
+    scratch.clear();
     let mut count = 0;
     let mut i = 0;
     while i < leaves.len() {
@@ -64,16 +87,16 @@ pub fn coarsen_marked(leaves: &mut Vec<Octant>, marks: &[bool]) -> usize {
             let parent = o.parent();
             let family_ok = (0..8).all(|k| leaves[i + k] == parent.child(k as u8) && marks[i + k]);
             if family_ok {
-                out.push(parent);
+                scratch.push(parent);
                 count += 1;
                 i += 8;
                 continue;
             }
         }
-        out.push(o);
+        scratch.push(o);
         i += 1;
     }
-    *leaves = out;
+    std::mem::swap(leaves, scratch);
     count
 }
 

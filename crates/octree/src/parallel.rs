@@ -6,8 +6,8 @@
 //! (the Morton key of the first owned leaf), established with an
 //! `allgather` of one long integer per core — exactly the paper's scheme.
 
-use crate::balance::BalanceKind;
-use crate::mark::{mark_elements, Mark, MarkParams};
+use crate::balance::{BalanceKind, BalanceWorkspace};
+use crate::mark::{mark_elements_into, Mark, MarkParams};
 use crate::morton::Octant;
 use crate::ops::{self, find_containing};
 use scomm::{pod, Comm};
@@ -16,6 +16,56 @@ use scomm::{pod, Comm};
 /// are alltoallv-based).
 #[allow(dead_code)]
 const TAG_BALANCE: u64 = 0x0c7ee;
+
+/// Grow-only scratch for the distributed adaptation hot path. One instance
+/// lives inside each [`DistOctree`]; once every buffer has reached its
+/// steady-state capacity a warm mark→refine→coarsen→balance→partition
+/// cycle performs no heap allocation in this crate. [`DistOctree::alloc_bytes`]
+/// reports the tracked capacity so callers can prove it (the
+/// `amr.alloc_bytes` obs counter).
+#[derive(Default)]
+struct TreeWorkspace {
+    /// Seed-propagation balance scratch.
+    bal: BalanceWorkspace,
+    /// Swap partner for refine/coarsen rebuilds.
+    scratch: Vec<Octant>,
+    /// Per-destination staging of balance size-requests.
+    req_bufs: Vec<Vec<(Octant, u64)>>,
+    /// Flat send/receive buffers for the balance exchange.
+    send_flat: Vec<(Octant, u64)>,
+    send_counts: Vec<usize>,
+    recv_flat: Vec<(Octant, u64)>,
+    recv_counts: Vec<usize>,
+    /// Per-leaf refine flags driven by remote requests.
+    to_refine: Vec<bool>,
+    /// Partition exchange buffers (the send side is `local` itself).
+    part_counts: Vec<usize>,
+    part_recv: Vec<Octant>,
+    part_recv_counts: Vec<usize>,
+    /// `adapt_to_target` buffers.
+    marks: Vec<Mark>,
+    coarsen_flags: Vec<bool>,
+    refine_flags: Vec<bool>,
+}
+
+impl TreeWorkspace {
+    fn capacity_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        let mut b = self.bal.capacity_bytes();
+        b += cap(&self.scratch) + cap(&self.send_flat) + cap(&self.recv_flat);
+        b += cap(&self.send_counts) + cap(&self.recv_counts);
+        b += cap(&self.to_refine) + cap(&self.part_counts) + cap(&self.part_recv);
+        b += cap(&self.part_recv_counts) + cap(&self.marks);
+        b += cap(&self.coarsen_flags) + cap(&self.refine_flags);
+        b += cap(&self.req_bufs);
+        for v in &self.req_bufs {
+            b += cap(v);
+        }
+        b
+    }
+}
 
 /// A distributed linear octree: this rank's view.
 pub struct DistOctree<'c> {
@@ -27,12 +77,18 @@ pub struct DistOctree<'c> {
     markers: Vec<u64>,
     /// Per-rank element counts.
     counts: Vec<u64>,
+    /// Reused `(first_key, count)` gather buffer for marker refresh.
+    gather: Vec<(u64, u64)>,
+    /// Grow-only adaptation scratch.
+    ws: TreeWorkspace,
+    /// Ripple rounds used by the most recent [`DistOctree::balance`] call.
+    balance_rounds: u64,
 }
 
 /// Description of the element movement performed by a repartition; apply
 /// the same plan to element-attached data with [`transfer_fields`]
 /// (the paper's `TransferFields`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PartitionPlan {
     /// For each destination rank, the half-open local index range of
     /// elements sent there (empty ranges allowed).
@@ -58,6 +114,9 @@ impl<'c> DistOctree<'c> {
             local,
             markers: Vec::new(),
             counts: Vec::new(),
+            gather: Vec::new(),
+            ws: TreeWorkspace::default(),
+            balance_rounds: 0,
         };
         tree.update_markers();
         tree
@@ -71,20 +130,26 @@ impl<'c> DistOctree<'c> {
             local,
             markers: Vec::new(),
             counts: Vec::new(),
+            gather: Vec::new(),
+            ws: TreeWorkspace::default(),
+            balance_rounds: 0,
         };
         tree.update_markers();
         tree
     }
 
     /// Re-establish the per-rank markers after any structural change.
-    /// One allgather of `(first_key, count)` per rank.
+    /// One allgather of `(first_key, count)` per rank; all buffers reused.
     fn update_markers(&mut self) {
+        let comm = self.comm;
         let first = self.local.first().map(|o| o.key()).unwrap_or(u64::MAX);
-        let gathered = self.comm.allgatherv(&[(first, self.local.len() as u64)]);
-        let p = self.comm.size();
-        self.markers = vec![u64::MAX; p];
-        self.counts = vec![0; p];
-        for (r, &(key, count)) in gathered.iter().enumerate() {
+        comm.allgatherv_into(&[(first, self.local.len() as u64)], &mut self.gather);
+        let p = comm.size();
+        self.markers.clear();
+        self.markers.resize(p, u64::MAX);
+        self.counts.clear();
+        self.counts.resize(p, 0);
+        for (r, &(key, count)) in self.gather.iter().enumerate() {
             self.counts[r] = count;
             self.markers[r] = key;
         }
@@ -138,7 +203,7 @@ impl<'c> DistOctree<'c> {
 
     /// `RefineTree`: purely local, no communication (markers refreshed).
     pub fn refine<F: FnMut(&Octant) -> bool>(&mut self, should_refine: F) -> usize {
-        let n = ops::refine(&mut self.local, should_refine);
+        let n = ops::refine_with(&mut self.local, &mut self.ws.scratch, should_refine);
         self.update_markers();
         n
     }
@@ -147,35 +212,57 @@ impl<'c> DistOctree<'c> {
     /// spanning rank boundaries are not coarsened (at most `P−1` such
     /// families exist).
     pub fn coarsen<F: FnMut(&Octant) -> bool>(&mut self, should_coarsen: F) -> usize {
-        let n = ops::coarsen(&mut self.local, should_coarsen);
+        let ws = &mut self.ws;
+        ws.coarsen_flags.clear();
+        ws.coarsen_flags
+            .extend(self.local.iter().map(should_coarsen));
+        let n = ops::coarsen_marked_with(&mut self.local, &mut ws.scratch, &ws.coarsen_flags);
         self.update_markers();
         n
     }
 
     /// `MarkElements` + apply: adapt toward a global element-count target
     /// driven by per-element indicators. Returns
-    /// `(refined, coarsened_families)`.
+    /// `(refined, coarsened_families)`. Warm calls reuse the tree's
+    /// workspace and do not allocate.
     pub fn adapt_to_target(&mut self, indicators: &[f64], params: &MarkParams) -> (usize, usize) {
-        let marks = mark_elements(self.comm, &self.local, indicators, params);
-        let ref_set: Vec<bool> = marks.iter().map(|m| *m == Mark::Refine).collect();
-        let coar_set: Vec<bool> = marks.iter().map(|m| *m == Mark::Coarsen).collect();
+        let comm = self.comm;
+        let mut ws = std::mem::take(&mut self.ws);
+        mark_elements_into(comm, &self.local, indicators, params, &mut ws.marks);
+        ws.coarsen_flags.clear();
+        ws.coarsen_flags
+            .extend(ws.marks.iter().map(|m| *m == Mark::Coarsen));
         // Coarsen first (marks are family-aligned by construction), then
         // refine survivors.
-        let coarsened = ops::coarsen_marked(&mut self.local, &coar_set);
+        let coarsened =
+            ops::coarsen_marked_with(&mut self.local, &mut ws.scratch, &ws.coarsen_flags);
         // Rebuild the refine flags against the post-coarsening leaf list:
         // coarsened families disappear, other leaves keep their flag.
-        let mut new_flags = Vec::with_capacity(self.local.len());
+        ws.refine_flags.clear();
         let mut j = 0usize;
-        while new_flags.len() < self.local.len() {
-            if coar_set[j] {
-                new_flags.push(false); // freshly coarsened parent
+        while ws.refine_flags.len() < self.local.len() {
+            if ws.coarsen_flags[j] {
+                ws.refine_flags.push(false); // freshly coarsened parent
                 j += 8;
             } else {
-                new_flags.push(ref_set[j]);
+                ws.refine_flags.push(ws.marks[j] == Mark::Refine);
                 j += 1;
             }
         }
-        let refined = ops::refine_marked(&mut self.local, &new_flags);
+        let refined = {
+            let TreeWorkspace {
+                scratch,
+                refine_flags,
+                ..
+            } = &mut ws;
+            let mut i = 0usize;
+            ops::refine_with(&mut self.local, scratch, |_| {
+                let m = refine_flags[i];
+                i += 1;
+                m
+            })
+        };
+        self.ws = ws;
         self.update_markers();
         (refined, coarsened)
     }
@@ -187,15 +274,127 @@ impl<'c> DistOctree<'c> {
     /// number of leaves added globally.
     pub fn balance(&mut self, kind: BalanceKind) -> u64 {
         let before = self.global_count();
-        let dirs = kind.directions();
+        let dirs = kind.direction_slice();
         let p = self.comm.size();
+        let me = self.comm.rank();
+        let mut rounds = 0u64;
+        let mut ws = std::mem::take(&mut self.ws);
+        if ws.req_bufs.len() < p {
+            ws.req_bufs.resize_with(p, Vec::new);
+        }
         loop {
-            // Local pass first (no communication).
-            crate::balance::balance_local_kind(&mut self.local, kind);
+            rounds += 1;
+            // Local pass first (no communication): recursive seed-set
+            // propagation through the retained workspace.
+            crate::balance::balance_local_kind_ws(&mut self.local, kind, &mut ws.bal);
             self.update_markers();
 
             // Collect remote size requests: for each boundary leaf and
             // direction, the same-size neighbor position and my level.
+            for buf in &mut ws.req_bufs {
+                buf.clear();
+            }
+            for o in &self.local {
+                for &(dx, dy, dz) in dirs {
+                    let Some(n) = o.neighbor(dx, dy, dz) else {
+                        continue;
+                    };
+                    let (rlo, rhi) = self.owner_range(&n);
+                    for r in rlo..=rhi {
+                        if r != me {
+                            ws.req_bufs[r].push((n, o.level as u64));
+                        }
+                    }
+                }
+            }
+            ws.send_flat.clear();
+            ws.send_counts.clear();
+            for buf in &ws.req_bufs[..p] {
+                ws.send_counts.push(buf.len());
+                ws.send_flat.extend_from_slice(buf);
+            }
+            self.comm.alltoallv_flat(
+                &ws.send_flat,
+                &ws.send_counts,
+                &mut ws.recv_flat,
+                &mut ws.recv_counts,
+            );
+
+            // A request (n, lvl) means: some remote leaf at level `lvl`
+            // touches region `n`; any local leaf containing `n` must have
+            // level ≥ lvl−1.
+            ws.to_refine.clear();
+            ws.to_refine.resize(self.local.len(), false);
+            let mut changed = 0u64;
+            for &(n, lvl) in &ws.recv_flat {
+                if let Some(i) = find_containing(&self.local, &n) {
+                    if (self.local[i].level as u64) + 1 < lvl && !ws.to_refine[i] {
+                        ws.to_refine[i] = true;
+                        changed += 1;
+                    }
+                }
+            }
+            let global_changed = self.comm.allreduce_sum(&[changed])[0];
+            if global_changed == 0 {
+                break;
+            }
+            if changed > 0 {
+                let TreeWorkspace {
+                    scratch, to_refine, ..
+                } = &mut ws;
+                let mut i = 0usize;
+                ops::refine_with(&mut self.local, scratch, |_| {
+                    let m = to_refine[i];
+                    i += 1;
+                    m
+                });
+            }
+            self.update_markers();
+        }
+        self.ws = ws;
+        self.balance_rounds = rounds;
+        #[cfg(debug_assertions)]
+        if scomm::checks_enabled() {
+            assert!(self.validate(), "octree invariants violated after balance");
+        }
+        self.global_count() - before
+    }
+
+    /// Ripple rounds (local-balance + exchange iterations) used by the
+    /// most recent [`DistOctree::balance`] call — the `amr.ripple_rounds`
+    /// obs counter.
+    pub fn last_balance_rounds(&self) -> u64 {
+        self.balance_rounds
+    }
+
+    /// Heap capacity currently held by this tree's tracked buffers (leaf
+    /// array, marker metadata, and the adaptation workspace), in bytes.
+    /// The growth of this value across a warm adapt cycle is the
+    /// `amr.alloc_bytes` contribution of the tree layer; at steady state
+    /// it must be zero.
+    pub fn alloc_bytes(&self) -> u64 {
+        fn cap<T>(v: &Vec<T>) -> u64 {
+            (v.capacity() * std::mem::size_of::<T>()) as u64
+        }
+        self.ws.capacity_bytes()
+            + cap(&self.local)
+            + cap(&self.markers)
+            + cap(&self.counts)
+            + cap(&self.gather)
+    }
+
+    /// The PR 3 parallel balance, retained verbatim as the benchmark
+    /// baseline and a second differential oracle: buffered ripple sweeps
+    /// locally, nested (allocating) alltoallv for the boundary requests.
+    /// Produces the same unique minimal balanced refinement as
+    /// [`DistOctree::balance`].
+    pub fn balance_ripple(&mut self, kind: BalanceKind) -> u64 {
+        let before = self.global_count();
+        let dirs = kind.directions();
+        let p = self.comm.size();
+        loop {
+            crate::balance::balance_local_ripple_kind(&mut self.local, kind);
+            self.update_markers();
             let mut outgoing: Vec<Vec<(Octant, u64)>> = vec![Vec::new(); p];
             for o in &self.local {
                 for &(dx, dy, dz) in &dirs {
@@ -211,10 +410,6 @@ impl<'c> DistOctree<'c> {
                 }
             }
             let incoming = self.comm.alltoallv(&outgoing);
-
-            // A request (n, lvl) means: some remote leaf at level `lvl`
-            // touches region `n`; any local leaf containing `n` must have
-            // level ≥ lvl−1.
             let mut to_refine = vec![false; self.local.len()];
             let mut changed = 0u64;
             for reqs in &incoming {
@@ -252,6 +447,21 @@ impl<'c> DistOctree<'c> {
     /// equal share (±1) of the Morton curve. Returns the plan, which must
     /// be replayed on element data with [`transfer_fields`].
     pub fn partition(&mut self) -> PartitionPlan {
+        let mut plan = PartitionPlan {
+            send_ranges: Vec::new(),
+            new_len: 0,
+        };
+        self.partition_with(&mut plan);
+        plan
+    }
+
+    /// [`DistOctree::partition`] writing the plan into a caller-provided
+    /// value (ranges cleared first, capacity reused). The send ranges tile
+    /// the local array contiguously in rank order, so the leaf array
+    /// itself serves as the flat exchange buffer — the repartition moves
+    /// each octant exactly once with no packing copy, and warm calls do
+    /// not allocate.
+    pub fn partition_with(&mut self, plan: &mut PartitionPlan) {
         let p = self.comm.size() as u64;
         let n = self.global_count();
         let my_off = self.global_offset();
@@ -259,28 +469,34 @@ impl<'c> DistOctree<'c> {
 
         // Target global ranges: rank r owns [r*n/p, (r+1)*n/p).
         let target_lo = |r: u64| (n * r) / p;
-        let mut send_ranges = vec![(0usize, 0usize); p as usize];
-        let mut outgoing: Vec<Vec<Octant>> = vec![Vec::new(); p as usize];
+        let mut ws = std::mem::take(&mut self.ws);
+        plan.send_ranges.clear();
+        ws.part_counts.clear();
         for r in 0..p {
             let lo = target_lo(r).max(my_off);
             let hi = target_lo(r + 1).min(my_off + my_len);
             if lo < hi {
                 let s = (lo - my_off) as usize;
                 let e = (hi - my_off) as usize;
-                send_ranges[r as usize] = (s, e);
-                outgoing[r as usize] = self.local[s..e].to_vec();
+                plan.send_ranges.push((s, e));
+                ws.part_counts.push(e - s);
             } else {
                 // Keep ranges well-formed (empty) at a valid position.
                 let s = (lo.min(my_off + my_len).max(my_off) - my_off) as usize;
-                send_ranges[r as usize] = (s, s);
+                plan.send_ranges.push((s, s));
+                ws.part_counts.push(0);
             }
         }
-        let incoming = self.comm.alltoallv(&outgoing);
-        let mut new_local = Vec::with_capacity((n / p + 1) as usize);
-        for part in incoming {
-            new_local.extend(part); // rank order = Morton order
-        }
-        self.local = new_local;
+        self.comm.alltoallv_flat(
+            &self.local,
+            &ws.part_counts,
+            &mut ws.part_recv,
+            &mut ws.part_recv_counts,
+        );
+        // Rank order = Morton order: the flat receive buffer is the new
+        // local segment.
+        std::mem::swap(&mut self.local, &mut ws.part_recv);
+        self.ws = ws;
         self.update_markers();
         #[cfg(debug_assertions)]
         if scomm::checks_enabled() {
@@ -289,10 +505,7 @@ impl<'c> DistOctree<'c> {
                 "octree invariants violated after partition"
             );
         }
-        PartitionPlan {
-            send_ranges,
-            new_len: self.local.len(),
-        }
+        plan.new_len = self.local.len();
     }
 
     /// Build the ghost layer: the remote leaves face/edge/corner-adjacent
@@ -399,19 +612,48 @@ pub fn transfer_fields<T: pod::Pod>(
     data: &[T],
     ncomp: usize,
 ) -> Vec<T> {
+    let mut out = Vec::new();
+    let mut counts = Vec::new();
+    let mut recv_counts = Vec::new();
+    transfer_fields_into(
+        comm,
+        plan,
+        data,
+        ncomp,
+        &mut counts,
+        &mut recv_counts,
+        &mut out,
+    );
+    out
+}
+
+/// [`transfer_fields`] over caller-managed buffers: `out` receives the
+/// repartitioned data (cleared first, capacity reused). Because a
+/// [`PartitionPlan`]'s send ranges tile the element order contiguously in
+/// rank order, `data` itself is the flat send buffer — no packing copy,
+/// and warm calls do not allocate.
+pub fn transfer_fields_into<T: pod::Pod>(
+    comm: &Comm,
+    plan: &PartitionPlan,
+    data: &[T],
+    ncomp: usize,
+    counts_scratch: &mut Vec<usize>,
+    recv_counts_scratch: &mut Vec<usize>,
+    out: &mut Vec<T>,
+) {
     let p = comm.size();
     assert_eq!(plan.send_ranges.len(), p);
-    let mut outgoing: Vec<Vec<T>> = vec![Vec::new(); p];
-    for (r, &(s, e)) in plan.send_ranges.iter().enumerate() {
-        outgoing[r] = data[s * ncomp..e * ncomp].to_vec();
+    counts_scratch.clear();
+    for &(s, e) in &plan.send_ranges {
+        counts_scratch.push((e - s) * ncomp);
     }
-    let incoming = comm.alltoallv(&outgoing);
-    let mut out = Vec::with_capacity(plan.new_len * ncomp);
-    for part in incoming {
-        out.extend(part);
-    }
+    assert_eq!(
+        counts_scratch.iter().sum::<usize>(),
+        data.len(),
+        "plan does not cover the element data"
+    );
+    comm.alltoallv_flat(data, counts_scratch, out, recv_counts_scratch);
     assert_eq!(out.len(), plan.new_len * ncomp);
-    out
 }
 
 #[cfg(test)]
@@ -577,6 +819,99 @@ mod tests {
             assert!(t.validate());
             let n = t.global_count() as f64;
             assert!((n - 900.0).abs() / 900.0 < 0.3, "global count {n}");
+        });
+    }
+
+    #[test]
+    fn fast_balance_matches_ripple_baseline_distributed() {
+        // The retained PR 3 ripple path and the seed-propagation fast path
+        // must produce bitwise-identical global leaf sets.
+        fn build(c: &Comm) -> DistOctree<'_> {
+            let mut t = DistOctree::new_uniform(c, 1);
+            let mut h = 0x9e3779b97f4a7c15u64;
+            for _ in 0..3 {
+                t.refine(|o| {
+                    h = h.wrapping_mul(6364136223846793005).wrapping_add(o.key());
+                    o.level < 5 && h.is_multiple_of(5)
+                });
+                t.partition();
+            }
+            t
+        }
+        for p in [1usize, 2, 4] {
+            let locals = spmd::run(p, |c| {
+                let mut fast = build(c);
+                fast.balance(BalanceKind::Full);
+                assert!(fast.last_balance_rounds() >= 1);
+                let mut ripple = build(c);
+                ripple.balance_ripple(BalanceKind::Full);
+                (fast.local.clone(), ripple.local)
+            });
+            let (f, r): (Vec<_>, Vec<_>) = locals.into_iter().unzip();
+            let fast_union: Vec<Octant> = f.into_iter().flatten().collect();
+            let ripple_union: Vec<Octant> = r.into_iter().flatten().collect();
+            assert_eq!(fast_union, ripple_union, "P={p}");
+            assert!(is_balanced(&fast_union));
+        }
+    }
+
+    #[test]
+    fn warm_adapt_cycle_does_not_allocate() {
+        // Repeat an identical mark→refine→coarsen→balance→partition cycle;
+        // once warm, the tree's tracked capacity must stop growing.
+        spmd::run(4, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            let mut plan = PartitionPlan {
+                send_ranges: Vec::new(),
+                new_len: 0,
+            };
+            // Deterministic geometric predicates: the cycle map reaches a
+            // periodic orbit after a couple of applications, after which
+            // all buffer sizes are steady.
+            let cycle = |t: &mut DistOctree, plan: &mut PartitionPlan| {
+                t.refine(|o| {
+                    let c = o.center_unit();
+                    let d2 = (c[0] - 0.5).powi(2) + (c[1] - 0.5).powi(2) + (c[2] - 0.5).powi(2);
+                    o.level < 4 && d2 < 0.09
+                });
+                t.coarsen(|o| o.level > 2 && o.center_unit()[0] > 0.5);
+                t.balance(BalanceKind::Full);
+                t.partition_with(plan);
+            };
+            for _ in 0..3 {
+                cycle(&mut t, &mut plan);
+            }
+            let cap = t.alloc_bytes();
+            for _ in 0..4 {
+                cycle(&mut t, &mut plan);
+            }
+            assert_eq!(t.alloc_bytes(), cap, "warm adapt cycle allocated");
+        });
+    }
+
+    #[test]
+    fn transfer_fields_into_matches_nested() {
+        spmd::run(3, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            if c.rank() == 1 {
+                t.refine(|o| o.child_id() < 4);
+            } else {
+                t.refine(|_| false);
+            }
+            let data: Vec<f64> = t
+                .local
+                .iter()
+                .flat_map(|o| [o.key() as f64, o.level as f64])
+                .collect();
+            let plan = t.partition();
+            let reference = transfer_fields(c, &plan, &data, 2);
+            let (mut out, mut counts, mut rc) = (Vec::new(), Vec::new(), Vec::new());
+            transfer_fields_into(c, &plan, &data, 2, &mut counts, &mut rc, &mut out);
+            assert_eq!(out, reference);
+            // Warm call reuses the output buffer.
+            let ptr = out.as_ptr();
+            transfer_fields_into(c, &plan, &data, 2, &mut counts, &mut rc, &mut out);
+            assert_eq!(out.as_ptr(), ptr);
         });
     }
 

@@ -24,7 +24,7 @@ pub mod rheology;
 pub mod timers;
 pub mod transport;
 
-pub use adapt::{adapt_mesh, AdaptParams, AdaptReport};
+pub use adapt::{adapt_mesh, adapt_mesh_ws, AdaptParams, AdaptReport, AdaptWorkspace};
 pub use convection::{ConvectionParams, ConvectionSim, StepReport};
 pub use rheology::{ViscosityLaw, YieldingLaw};
 pub use timers::{Phase, PhaseTimers};

@@ -339,6 +339,36 @@ impl Comm {
         out
     }
 
+    /// Allocation-free counterpart of [`Comm::allgatherv`]: gathered
+    /// contributions are appended to `out` (cleared first, capacity
+    /// reused) in rank order. Statistics and telemetry are identical to
+    /// [`Comm::allgatherv`].
+    pub fn allgatherv_into<T: Pod>(&self, data: &[T], out: &mut Vec<T>) {
+        let _t = self.op_span("comm:allgatherv");
+        self.maybe_stagger();
+        let world = &self.world;
+        {
+            let mut slot = world.slots[self.rank].lock().unwrap();
+            slot.clear();
+            slot.extend_from_slice(as_bytes(data));
+        }
+        world.barrier.wait();
+        out.clear();
+        let mut total_bytes = 0u64;
+        for r in 0..world.nranks {
+            let slot = world.slots[r].lock().unwrap();
+            total_bytes += slot.len() as u64;
+            crate::pod::extend_from_bytes(out, &slot);
+        }
+        world.barrier.wait();
+        {
+            let mut s = self.stats.borrow_mut();
+            s.allgathers += 1;
+            s.collective_bytes += total_bytes;
+        }
+        self.op_bytes(total_bytes);
+    }
+
     /// All-reduce with an arbitrary elementwise combiner. All ranks must
     /// pass equal-length slices.
     pub fn allreduce<T: Pod, F: Fn(T, T) -> T>(&self, data: &[T], op: F) -> Vec<T> {
@@ -585,6 +615,27 @@ mod tests {
         let expect: Vec<u64> = vec![0, 0, 1, 0, 1, 2];
         for o in out {
             assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn allgatherv_into_matches_and_reuses_buffer() {
+        let out = spmd::run(4, |c| {
+            let mine: Vec<u64> = (0..c.rank() as u64).collect();
+            let reference = c.allgatherv(&mine);
+            let mut buf = Vec::new();
+            c.allgatherv_into(&mine, &mut buf);
+            assert_eq!(buf, reference);
+            // Warm call must reuse the output buffer's allocation.
+            let ptr = buf.as_ptr();
+            c.allgatherv_into(&mine, &mut buf);
+            assert_eq!(buf, reference);
+            assert_eq!(ptr, buf.as_ptr(), "allgatherv_into must not reallocate");
+            (buf, c.stats().allgathers)
+        });
+        for (o, gathers) in out {
+            assert_eq!(o, vec![0, 0, 1, 0, 1, 2]);
+            assert_eq!(gathers, 3, "into-variant must count as an allgather");
         }
     }
 

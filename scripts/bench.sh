@@ -1,26 +1,32 @@
 #!/usr/bin/env bash
-# Matvec-pipeline benchmark harness (PR 3).
+# Benchmark harness (PR 3 matvec pipeline + PR 4 AMR adapt cycle).
 #
-#   scripts/bench.sh           regenerate BENCH_pr3.json from a full
-#                              --release run (the committed artifact);
-#                              fails if the tensor-kernel speedup
-#                              regresses below 1.5x or a warm solve
-#                              allocates.
+#   scripts/bench.sh           regenerate BENCH_pr3.json and
+#                              BENCH_pr4.json from full --release runs
+#                              (the committed artifacts); fails if the
+#                              tensor-kernel speedup regresses below
+#                              1.5x, the adapt-cycle speedup below 2x,
+#                              or a warm solve/adapt cycle allocates.
 #   scripts/bench.sh --smoke   fast debug-build pass over the same code
-#                              paths for CI; writes to a scratch file
-#                              and skips the speedup gate (debug builds
-#                              don't vectorize).
+#                              paths for CI; writes to scratch files
+#                              and skips the speedup gates (debug
+#                              builds don't vectorize).
 #
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    out="$(mktemp -t BENCH_pr3_smoke.XXXXXX.json)"
-    trap 'rm -f "$out"' EXIT
-    echo "==> bench smoke (debug, reduced samples) -> $out"
-    cargo run -q -p rhea-bench --bin pr3_pipeline -- --smoke --out "$out"
+    out3="$(mktemp -t BENCH_pr3_smoke.XXXXXX.json)"
+    out4="$(mktemp -t BENCH_pr4_smoke.XXXXXX.json)"
+    trap 'rm -f "$out3" "$out4"' EXIT
+    echo "==> bench smoke (debug, reduced samples) -> $out3"
+    cargo run -q -p rhea-bench --bin pr3_pipeline -- --smoke --out "$out3"
+    echo "==> adapt-cycle bench smoke (debug, reduced samples) -> $out4"
+    cargo run -q -p rhea-bench --bin fig10_amr_timings -- --smoke --out "$out4"
 else
     echo "==> bench full (--release) -> BENCH_pr3.json"
     cargo run -q --release -p rhea-bench --bin pr3_pipeline -- --out BENCH_pr3.json
+    echo "==> adapt-cycle bench full (--release) -> BENCH_pr4.json"
+    cargo run -q --release -p rhea-bench --bin fig10_amr_timings -- --out BENCH_pr4.json
 fi

@@ -26,6 +26,13 @@ echo "==> fault-injection smoke"
 timeout 120 cargo test -q -p check --test fault_smoke
 timeout 120 cargo test -q -p scomm fault_injection
 
+# AMR fuzz smoke (~5 s): fixed-seed adaptation cycles at P in {1,2,4}
+# asserting every invariant checker, bitwise fast-vs-naive balance
+# equality, and field-transfer conservation. The 200-cycle acceptance
+# run is the same binary with -- --ignored.
+echo "==> amr-fuzz-smoke"
+timeout 120 cargo test -q -p check --test fuzz_amr
+
 # Bench smoke: drives the matvec-pipeline benchmark harness end to end
 # (tensor kernels, packed exchange, fused MINRES counters) with reduced
 # sample counts. Catches harness bitrot and the zero-allocation /

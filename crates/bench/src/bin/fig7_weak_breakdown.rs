@@ -20,16 +20,17 @@ use rhea::adapt::{adapt_mesh, gradient_indicator, AdaptParams};
 use rhea::timers::{Phase, PhaseTimers};
 use rhea::transport::{TransportParams, TransportSolver};
 use rhea_bench::{banner, paper_core_counts, Table};
-use scomm::{spmd, MachineModel};
+use scomm::{spmd, CommStats, MachineModel};
 
 /// Run the adaptive transport loop with tracing on and return the
-/// per-rank telemetry profiles plus the global element count.
+/// per-rank telemetry profiles, the global element count, and each
+/// rank's measured communication counters.
 fn run_traced(
     ranks: usize,
     level: u8,
     steps: usize,
     adapt_every: usize,
-) -> (Vec<RankProfile>, u64) {
+) -> (Vec<RankProfile>, u64, Vec<CommStats>) {
     let (counts, profiles) = spmd::run_traced(ranks, move |c, rec| {
         let mut tree = DistOctree::new_uniform(c, level);
         let mut mesh = extract_mesh(&tree, [1.0, 1.0, 1.0]);
@@ -67,9 +68,11 @@ fn run_traced(
                 temp = nf.remove(0);
             }
         }
-        tree.global_count()
+        (tree.global_count(), c.stats())
     });
-    (profiles, counts[0])
+    let n_global = counts[0].0;
+    let stats = counts.into_iter().map(|(_, s)| s).collect();
+    (profiles, n_global, stats)
 }
 
 fn main() {
@@ -80,7 +83,7 @@ fn main() {
     // Measure the per-phase serial profile on this host (1 rank = pure
     // local work, no contention).
     let steps = 32; // one adaptation per 32 steps, the paper's cadence
-    let (serial_profiles, n_elem) = run_traced(1, 4, steps, 32);
+    let (serial_profiles, n_elem, _) = run_traced(1, 4, steps, 32);
     let serial = &serial_profiles[0].summary;
     let timers = PhaseTimers::from_summary(serial);
     let machine = MachineModel::ranger();
@@ -196,7 +199,7 @@ fn main() {
     // Four simulated ranks: record the real communication profile and
     // emit the observability artifacts for this figure.
     let ranks = 4;
-    let (profiles, n4) = run_traced(ranks, 3, 8, 4);
+    let (profiles, n4, comm_stats) = run_traced(ranks, 3, 8, 4);
     let merged = Summary::reduce_all(profiles.iter().map(|p| &p.summary));
     println!();
     println!("{ranks}-rank communication profile ({n4} elements, merged across ranks):");
@@ -210,6 +213,51 @@ fn main() {
             h.count, h.sum
         );
     }
+
+    // Ranger-scale extrapolation from the *measured* counters: feed each
+    // rank's recorded CommStats through the α–β–γ machine model at every
+    // paper core count, take the critical-path rank, and compose with the
+    // measured time-integration compute two ways — blocking (comp + comm)
+    // versus split-phase overlapped (max(comp, comm)). The gain column is
+    // the modeled payoff of overlapping the ghost exchange (PR 5).
+    let comp_host = merged
+        .phases
+        .get("TimeIntegration")
+        .map(|st| st.incl_seconds())
+        .unwrap_or(0.0)
+        / ranks as f64;
+    let t_comp = machine.t_fem_flops(host_to_flops(comp_host));
+    println!();
+    println!(
+        "Ranger extrapolation from measured CommStats \
+         (per-step phase, {ranks}-rank counters):"
+    );
+    let mut ab = Table::new(&[
+        "#cores",
+        "t_comp s",
+        "t_comm s",
+        "blocking s",
+        "overlapped s",
+        "overlap gain",
+    ]);
+    for &p in &cores {
+        let t_comm = comm_stats
+            .iter()
+            .map(|s| machine.t_comm(s, p))
+            .fold(0.0, f64::max);
+        let blocking = machine.t_phase_blocking(t_comp, t_comm);
+        let overlapped = machine.t_phase_overlapped(t_comp, t_comm);
+        ab.row(&[
+            p.to_string(),
+            format!("{t_comp:.3}"),
+            format!("{t_comm:.3}"),
+            format!("{blocking:.3}"),
+            format!("{overlapped:.3}"),
+            format!("{:.2}x", blocking / overlapped),
+        ]);
+    }
+    ab.print();
+
     let extra = Value::object([
         ("figure", Value::from("fig7")),
         ("ranks", Value::from(ranks as u64)),

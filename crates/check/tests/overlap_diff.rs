@@ -1,0 +1,142 @@
+//! Differential suite for the split-phase exchange path (PR 5): the
+//! overlapped operator application — post ghost exchange, sweep interior
+//! elements, complete, sweep surface elements — must be **bitwise
+//! identical** to the blocking oracle at every rank count. Covers the
+//! scalar `fem::DistOp`, the AMG preconditioner application, and the
+//! full Stokes MINRES solve.
+
+use fem::element::stiffness_matrix;
+use fem::op::{DistOp, DofMap};
+use mesh::extract::extract_mesh;
+use octree::balance::BalanceKind;
+use octree::parallel::DistOctree;
+use scomm::spmd;
+use stokes::solver::{StokesOptions, StokesSolver};
+
+const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Adapted fixture tree shared by every test: uniform level 2, refined
+/// above z = 0.6, fully balanced and repartitioned — hanging constraints
+/// and an uneven interior/surface split on every rank.
+fn fixture(c: &scomm::Comm) -> DistOctree<'_> {
+    let mut t = DistOctree::new_uniform(c, 2);
+    t.refine(|o| o.center_unit()[2] > 0.6);
+    t.balance(BalanceKind::Full);
+    t.partition();
+    t
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|f| f.to_bits()).collect()
+}
+
+#[test]
+fn dist_op_apply_overlapped_matches_blocking_bitwise() {
+    for p in RANK_COUNTS {
+        let out = spmd::run(p, |c| {
+            let t = fixture(c);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let map = DofMap::new(&m, c, 1);
+            let mesh_ref = &m;
+            let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
+            let op = DistOp::new(
+                &map,
+                Box::new(move |e, out: &mut [f64]| {
+                    let k = stiffness_matrix(mesh_ref.element_size(e), 1.0);
+                    for i in 0..8 {
+                        for j in 0..8 {
+                            out[i * 8 + j] = k[i][j];
+                        }
+                    }
+                }),
+                Some(&bc),
+            );
+            let x: Vec<f64> = (0..m.n_owned)
+                .map(|d| {
+                    let g = m.global_offset + d as u64;
+                    ((g.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % 9973) as f64 / 9973.0 - 0.5
+                })
+                .collect();
+            let mut y_over = vec![0.0; m.n_owned];
+            let mut y_block = vec![0.0; m.n_owned];
+            assert!(op.overlap(), "split-phase must be the default");
+            op.apply_owned(&x, &mut y_over);
+            op.set_overlap(false);
+            op.apply_owned(&x, &mut y_block);
+            (bits(&y_over), bits(&y_block))
+        });
+        for (r, (over, block)) in out.into_iter().enumerate() {
+            assert_eq!(over, block, "DistOp paths diverge on rank {r} at P={p}");
+        }
+    }
+}
+
+#[test]
+fn amg_preconditioner_unaffected_by_overlap_toggle() {
+    // The AMG hierarchy is rank-local by design (block-Jacobi across
+    // ranks): a V-cycle performs no communication, so the preconditioner
+    // application must be bitwise independent of the exchange path used
+    // by the surrounding operator.
+    for p in RANK_COUNTS {
+        let out = spmd::run(p, |c| {
+            let t = fixture(c);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let n = m.n_owned;
+            let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+            let visc = vec![1.0; m.elements.len()];
+            let mut z = Vec::new();
+            for overlap in [true, false] {
+                let opts = StokesOptions {
+                    overlap_exchange: overlap,
+                    ..StokesOptions::default()
+                };
+                let solver = StokesSolver::new(&m, c, visc.clone(), bc.clone(), opts);
+                let r: Vec<f64> = (0..solver.n_owned())
+                    .map(|i| ((i as u64 + 1).wrapping_mul(2654435761) % 8009) as f64 / 8009.0)
+                    .collect();
+                let mut zi = vec![0.0; solver.n_owned()];
+                solver.apply_preconditioner(&r, &mut zi);
+                z.push(bits(&zi));
+            }
+            z
+        });
+        for (r, z) in out.into_iter().enumerate() {
+            assert_eq!(z[0], z[1], "V-cycle differs on rank {r} at P={p}");
+        }
+    }
+}
+
+#[test]
+fn minres_solve_overlapped_matches_blocking_bitwise() {
+    for p in RANK_COUNTS {
+        let run = |overlap: bool| -> Vec<(Vec<u64>, usize)> {
+            spmd::run(p, move |c| {
+                let t = fixture(c);
+                let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let n = m.n_owned;
+                let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+                let visc: Vec<f64> = m
+                    .elements
+                    .iter()
+                    .map(|o| if o.center_unit()[2] > 0.5 { 50.0 } else { 1.0 })
+                    .collect();
+                let opts = StokesOptions {
+                    overlap_exchange: overlap,
+                    ..StokesOptions::default()
+                };
+                let mut solver = StokesSolver::new(&m, c, visc, bc, opts);
+                let (rhs, mut x) =
+                    solver.build_rhs(|q| [0.0, 0.0, (4.0 * q[0]).sin()], |_| [0.0; 3]);
+                let info = solver.solve(&rhs, &mut x);
+                assert!(info.converged, "P={}: {info:?}", c.size());
+                (bits(&x), info.iterations)
+            })
+        };
+        let over = run(true);
+        let block = run(false);
+        for (r, (o, b)) in over.iter().zip(&block).enumerate() {
+            assert_eq!(o.1, b.1, "iteration counts diverge on rank {r} at P={p}");
+            assert_eq!(o.0, b.0, "solutions diverge on rank {r} at P={p}");
+        }
+    }
+}

@@ -62,17 +62,43 @@ impl Workspace {
     }
 }
 
+/// Sentinel in [`DofMap::corner_dofs`] for a hanging corner that must be
+/// resolved through the node table's constraint terms.
+const CONSTRAINED: u32 = u32::MAX;
+
 /// Dof-map helper bundling the mesh and communicator.
 pub struct DofMap<'a> {
     pub mesh: &'a Mesh,
     pub comm: &'a Comm,
     /// Components per node (1 = scalar, 3 = velocity).
     pub ncomp: usize,
+    /// Flat corner → local-dof table: entry `8e + c` is the local dof of
+    /// corner `c` of element `e`, or [`CONSTRAINED`] for hanging corners.
+    /// Skips the node-table enum indirection on the (overwhelmingly
+    /// common) unconstrained corner in the gather/scatter hot loop.
+    corner_dofs: Vec<u32>,
 }
 
 impl<'a> DofMap<'a> {
     pub fn new(mesh: &'a Mesh, comm: &'a Comm, ncomp: usize) -> Self {
-        DofMap { mesh, comm, ncomp }
+        let mut corner_dofs = Vec::with_capacity(mesh.elem_nodes.len() * 8);
+        for nodes in &mesh.elem_nodes {
+            for &nref in nodes {
+                corner_dofs.push(match &mesh.node_table[nref as usize] {
+                    NodeResolution::Dof(d) => {
+                        debug_assert!((*d as u64) < CONSTRAINED as u64);
+                        *d as u32
+                    }
+                    NodeResolution::Constrained(_) => CONSTRAINED,
+                });
+            }
+        }
+        DofMap {
+            mesh,
+            comm,
+            ncomp,
+            corner_dofs,
+        }
     }
 
     /// Owned vector length.
@@ -142,6 +168,62 @@ impl<'a> DofMap<'a> {
         );
     }
 
+    /// Split-phase [`DofMap::exchange_with`]: post the packed ghost fill
+    /// and return while the messages are in flight. Only the owned block
+    /// of `v` is read at post time, so interior-element work may proceed
+    /// on `v` until [`DofMap::exchange_end`] fills the ghost block. The
+    /// completed ghost values are bitwise identical to the blocking path.
+    pub fn exchange_begin(&self, v: &[f64], buf: &mut ExchangeBuffers) {
+        self.mesh
+            .exchange
+            .exchange_begin_interleaved(self.comm, v, self.ncomp, buf);
+    }
+
+    /// Complete the ghost fill posted by [`DofMap::exchange_begin`].
+    pub fn exchange_end(&self, v: &mut [f64], buf: &mut ExchangeBuffers) {
+        self.mesh.exchange.exchange_end_interleaved(
+            self.comm,
+            v,
+            self.mesh.n_owned,
+            self.ncomp,
+            buf,
+        );
+    }
+
+    /// Split-phase [`DofMap::reverse_accumulate_with`]: post the ghost
+    /// contributions back to their owners and zero the ghost block.
+    pub fn reverse_accumulate_begin(&self, v: &mut [f64], buf: &mut ExchangeBuffers) {
+        self.mesh.exchange.reverse_accumulate_begin_interleaved(
+            self.comm,
+            v,
+            self.mesh.n_owned,
+            self.ncomp,
+            buf,
+        );
+    }
+
+    /// Complete the accumulation posted by
+    /// [`DofMap::reverse_accumulate_begin`]; owner sums are bitwise
+    /// identical to the blocking path.
+    pub fn reverse_accumulate_end(&self, v: &mut [f64], buf: &mut ExchangeBuffers) {
+        self.mesh.exchange.reverse_accumulate_end_interleaved(
+            self.comm,
+            v,
+            self.mesh.n_owned,
+            self.ncomp,
+            buf,
+        );
+    }
+
+    /// Reset `v` to owned+ghost length and copy the owned entries in,
+    /// without exchanging — the split-phase prelude to
+    /// [`DofMap::exchange_begin`].
+    pub fn fill_local(&self, owned: &[f64], v: &mut Vec<f64>) {
+        debug_assert_eq!(owned.len(), self.n_owned());
+        reset(v, self.n_local());
+        v[..owned.len()].copy_from_slice(owned);
+    }
+
     /// Exchange ghost values of an owned+ghost vector with `ncomp`
     /// interleaved components.
     pub fn exchange(&self, v: &mut [f64]) {
@@ -194,17 +276,38 @@ impl<'a> DofMap<'a> {
     pub fn gather_element(&self, e: usize, v: &[f64], out: &mut [f64]) {
         let nc = self.ncomp;
         debug_assert_eq!(out.len(), 8 * nc);
-        for (c, &nref) in self.mesh.elem_nodes[e].iter().enumerate() {
-            match &self.mesh.node_table[nref as usize] {
-                NodeResolution::Dof(d) => {
-                    for k in 0..nc {
-                        out[c * nc + k] = v[d * nc + k];
-                    }
+        let dofs = &self.corner_dofs[e * 8..e * 8 + 8];
+        if nc == 1 {
+            // Scalar fast path: fixed trip counts, no per-component loop.
+            let out: &mut [f64; 8] = out.try_into().unwrap();
+            for (c, (&d, o)) in dofs.iter().zip(out.iter_mut()).enumerate() {
+                if d != CONSTRAINED {
+                    *o = v[d as usize];
+                } else {
+                    let nref = self.mesh.elem_nodes[e][c];
+                    let NodeResolution::Constrained(terms) = &self.mesh.node_table[nref as usize]
+                    else {
+                        unreachable!("corner_dofs sentinel points at a plain dof");
+                    };
+                    *o = terms.iter().map(|&(d, w)| w * v[d]).sum();
                 }
-                NodeResolution::Constrained(terms) => {
-                    for k in 0..nc {
-                        out[c * nc + k] = terms.iter().map(|&(d, w)| w * v[d * nc + k]).sum();
-                    }
+            }
+            return;
+        }
+        for (c, &d) in dofs.iter().enumerate() {
+            if d != CONSTRAINED {
+                let d = d as usize;
+                for k in 0..nc {
+                    out[c * nc + k] = v[d * nc + k];
+                }
+            } else {
+                let nref = self.mesh.elem_nodes[e][c];
+                let NodeResolution::Constrained(terms) = &self.mesh.node_table[nref as usize]
+                else {
+                    unreachable!("corner_dofs sentinel points at a plain dof");
+                };
+                for k in 0..nc {
+                    out[c * nc + k] = terms.iter().map(|&(d, w)| w * v[d * nc + k]).sum();
                 }
             }
         }
@@ -214,18 +317,40 @@ impl<'a> DofMap<'a> {
     pub fn scatter_element(&self, e: usize, contrib: &[f64], v: &mut [f64]) {
         let nc = self.ncomp;
         debug_assert_eq!(contrib.len(), 8 * nc);
-        for (c, &nref) in self.mesh.elem_nodes[e].iter().enumerate() {
-            match &self.mesh.node_table[nref as usize] {
-                NodeResolution::Dof(d) => {
-                    for k in 0..nc {
-                        v[d * nc + k] += contrib[c * nc + k];
+        let dofs = &self.corner_dofs[e * 8..e * 8 + 8];
+        if nc == 1 {
+            let contrib: &[f64; 8] = contrib.try_into().unwrap();
+            for (c, (&d, &r)) in dofs.iter().zip(contrib.iter()).enumerate() {
+                if d != CONSTRAINED {
+                    v[d as usize] += r;
+                } else {
+                    let nref = self.mesh.elem_nodes[e][c];
+                    let NodeResolution::Constrained(terms) = &self.mesh.node_table[nref as usize]
+                    else {
+                        unreachable!("corner_dofs sentinel points at a plain dof");
+                    };
+                    for &(d, w) in terms {
+                        v[d] += w * r;
                     }
                 }
-                NodeResolution::Constrained(terms) => {
-                    for &(d, w) in terms {
-                        for k in 0..nc {
-                            v[d * nc + k] += w * contrib[c * nc + k];
-                        }
+            }
+            return;
+        }
+        for (c, &d) in dofs.iter().enumerate() {
+            if d != CONSTRAINED {
+                let d = d as usize;
+                for k in 0..nc {
+                    v[d * nc + k] += contrib[c * nc + k];
+                }
+            } else {
+                let nref = self.mesh.elem_nodes[e][c];
+                let NodeResolution::Constrained(terms) = &self.mesh.node_table[nref as usize]
+                else {
+                    unreachable!("corner_dofs sentinel points at a plain dof");
+                };
+                for &(d, w) in terms {
+                    for k in 0..nc {
+                        v[d * nc + k] += w * contrib[c * nc + k];
                     }
                 }
             }
@@ -261,6 +386,15 @@ impl la::DotBatch for &DofMap<'_> {
 /// A distributed symmetric operator defined by per-element matrices, with
 /// optional symmetric Dirichlet elimination. Carries its own reusable
 /// [`Workspace`], so repeated applications are allocation-free.
+///
+/// By default applications run **split-phase** (the SC'08 §4 pattern):
+/// the ghost exchange is posted, interior elements — those touching only
+/// non-shared owned dofs — are swept while the messages are in flight,
+/// the exchange completes, and the surface elements are swept last. Both
+/// the overlapped and the blocking path sweep interior-then-surface in
+/// the same order, so their results are **bitwise identical**; the
+/// blocking path (`set_overlap(false)`) is retained as the differential
+/// oracle and benchmark baseline.
 pub struct DistOp<'a> {
     map: &'a DofMap<'a>,
     /// Fills the `(8·ncomp)²` row-major element matrix of element `e`.
@@ -271,6 +405,8 @@ pub struct DistOp<'a> {
     ws: RefCell<Workspace>,
     /// Cumulative workspace growth, in bytes (see [`DistOp::alloc_bytes`]).
     grown: Cell<u64>,
+    /// Overlap the ghost exchange with interior-element sweeps.
+    overlap: Cell<bool>,
 }
 
 impl<'a> DistOp<'a> {
@@ -285,12 +421,24 @@ impl<'a> DistOp<'a> {
             bc_mask,
             ws: RefCell::new(Workspace::new()),
             grown: Cell::new(0),
+            overlap: Cell::new(true),
         }
     }
 
     /// The dof map this operator acts on.
     pub fn map(&self) -> &DofMap<'a> {
         self.map
+    }
+
+    /// Select the split-phase (`true`, default) or blocking (`false`)
+    /// exchange path. Results are bitwise identical either way.
+    pub fn set_overlap(&self, overlap: bool) {
+        self.overlap.set(overlap);
+    }
+
+    /// Whether applications overlap the ghost exchange with interior work.
+    pub fn overlap(&self) -> bool {
+        self.overlap.get()
     }
 
     /// Cumulative bytes of workspace growth over all applications so
@@ -324,26 +472,28 @@ impl<'a> DistOp<'a> {
         }
         reset(&mut ws.xl, map.n_local());
         ws.xl[..n_owned].copy_from_slice(&ws.xw);
-        map.exchange_with(&mut ws.xl, &mut ws.exch);
 
         reset(&mut ws.yl, map.n_local());
         reset(&mut ws.mat, dim * dim);
         reset(&mut ws.ue, dim);
         reset(&mut ws.re, dim);
-        for e in 0..map.mesh.elements.len() {
-            (self.elem_matrix)(e, &mut ws.mat);
-            map.gather_element(e, &ws.xl, &mut ws.ue);
-            for (i, r) in ws.re.iter_mut().enumerate() {
-                let row = &ws.mat[i * dim..(i + 1) * dim];
-                let mut acc = 0.0;
-                for (&a, &u) in row.iter().zip(ws.ue.iter()) {
-                    acc += a * u;
-                }
-                *r = acc;
-            }
-            map.scatter_element(e, &ws.re, &mut ws.yl);
+        // Both paths sweep interior elements first, then surface
+        // elements, so the floating-point accumulation order — and hence
+        // the result — is identical; only the point at which the ghost
+        // exchange completes differs.
+        if self.overlap.get() {
+            map.exchange_begin(&ws.xl, &mut ws.exch);
+            self.sweep(&map.mesh.interior_elems, ws);
+            map.exchange_end(&mut ws.xl, &mut ws.exch);
+            self.sweep(&map.mesh.surface_elems, ws);
+            map.reverse_accumulate_begin(&mut ws.yl, &mut ws.exch);
+            map.reverse_accumulate_end(&mut ws.yl, &mut ws.exch);
+        } else {
+            map.exchange_with(&mut ws.xl, &mut ws.exch);
+            self.sweep(&map.mesh.interior_elems, ws);
+            self.sweep(&map.mesh.surface_elems, ws);
+            map.reverse_accumulate_with(&mut ws.yl, &mut ws.exch);
         }
-        map.reverse_accumulate_with(&mut ws.yl, &mut ws.exch);
         y.copy_from_slice(&ws.yl[..n_owned]);
         if let Some(mask) = self.bc_mask {
             for (i, &m) in mask.iter().enumerate() {
@@ -354,6 +504,43 @@ impl<'a> DistOp<'a> {
         }
         self.grown
             .set(self.grown.get() + (ws.capacity_bytes() - cap0));
+    }
+
+    /// Sweep the given elements: form each element matrix, gather the
+    /// element vector from `ws.xl`, multiply, scatter into `ws.yl`.
+    /// Interior elements gather only non-shared owned dofs, so this is
+    /// safe to run while a ghost exchange on `ws.xl` is still in flight.
+    fn sweep(&self, elems: &[u32], ws: &mut Workspace) {
+        let map = self.map;
+        let dim = 8 * map.ncomp;
+        for &e in elems {
+            let e = e as usize;
+            (self.elem_matrix)(e, &mut ws.mat);
+            map.gather_element(e, &ws.xl, &mut ws.ue);
+            if dim == 8 {
+                // Scalar fast path: fixed-size rows, fully unrolled dots
+                // with the same left-to-right accumulation order as the
+                // generic loop below.
+                let ue: &[f64; 8] = ws.ue[..8].try_into().unwrap();
+                for (r, row) in ws.re.iter_mut().zip(ws.mat.chunks_exact(8)) {
+                    let row: &[f64; 8] = row.try_into().unwrap();
+                    let mut acc = 0.0;
+                    for k in 0..8 {
+                        acc += row[k] * ue[k];
+                    }
+                    *r = acc;
+                }
+            } else {
+                for (r, row) in ws.re.iter_mut().zip(ws.mat.chunks_exact(dim)) {
+                    let mut acc = 0.0;
+                    for (&a, &u) in row.iter().zip(ws.ue.iter()) {
+                        acc += a * u;
+                    }
+                    *r = acc;
+                }
+            }
+            map.scatter_element(e, &ws.re, &mut ws.yl);
+        }
     }
 }
 
@@ -507,6 +694,59 @@ mod tests {
                 "steady-state applies must not allocate"
             );
         });
+    }
+
+    #[test]
+    fn overlapped_apply_bitwise_matches_blocking() {
+        // The split-phase path (post exchange, sweep interior, complete,
+        // sweep surface) must reproduce the blocking path bit for bit,
+        // including on adapted meshes with hanging-node constraints.
+        for p in [1usize, 2, 4] {
+            spmd::run(p, |c| {
+                let mut t = DistOctree::new_uniform(c, 2);
+                t.refine(|o| o.center_unit()[2] > 0.6);
+                t.balance(BalanceKind::Full);
+                t.partition();
+                let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let map = DofMap::new(&m, c, 1);
+                let mesh_ref = &m;
+                let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
+                let op = DistOp::new(
+                    &map,
+                    Box::new(move |e, out: &mut [f64]| {
+                        let k = stiffness_matrix(mesh_ref.element_size(e), 1.0);
+                        for i in 0..8 {
+                            for j in 0..8 {
+                                out[i * 8 + j] = k[i][j];
+                            }
+                        }
+                    }),
+                    Some(&bc),
+                );
+                let x: Vec<f64> = (0..m.n_owned)
+                    .map(|d| {
+                        let g = m.global_offset + d as u64;
+                        ((g.wrapping_mul(6364136223846793005) >> 33) % 4001) as f64 / 4001.0 - 0.5
+                    })
+                    .collect();
+                let mut y_over = vec![0.0; m.n_owned];
+                let mut y_block = vec![0.0; m.n_owned];
+                assert!(op.overlap(), "overlap must be the default");
+                op.apply_owned(&x, &mut y_over);
+                op.set_overlap(false);
+                op.apply_owned(&x, &mut y_block);
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&y_over), bits(&y_block), "paths diverge at P={p}");
+                // Warm overlapped applies stay allocation-free.
+                op.set_overlap(true);
+                op.apply_owned(&x, &mut y_over);
+                let warm = op.alloc_bytes();
+                for _ in 0..3 {
+                    op.apply_owned(&x, &mut y_over);
+                }
+                assert_eq!(op.alloc_bytes(), warm, "overlapped applies allocate");
+            });
+        }
     }
 
     #[test]

@@ -14,6 +14,17 @@
 //! aggregation, tentative piecewise-constant prolongator, one step of
 //! weighted-Jacobi prolongator smoothing with the spectral radius
 //! estimated by power iteration.
+//!
+//! **Communication.** This hierarchy is deliberately *rank-local*
+//! (block-Jacobi across ranks): [`Amg::new`] takes the owned diagonal
+//! block and every smoother sweep, restriction, and coarse solve touches
+//! only local data — there are no ghost exchanges to overlap, split-phase
+//! or otherwise. The split-phase machinery (`fem::DofMap::exchange_begin`
+//! / `exchange_end`) therefore lives in the distributed operator
+//! applications that wrap these V-cycles (`fem::op::DistOp`,
+//! `stokes`), not here; if a distributed smoother is ever added, its
+//! halo exchange should adopt the same begin/end pattern. See DESIGN.md
+//! §12 for the deviation note versus the paper's distributed BoomerAMG.
 
 use std::cell::RefCell;
 

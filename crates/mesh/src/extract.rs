@@ -56,14 +56,25 @@ pub struct ExchangePattern {
 }
 
 /// Reusable pack/unpack buffers for the interleaved (flat) exchange
-/// paths. Grow-only: once a solver reaches steady state every call
-/// recycles the same allocations.
+/// paths — blocking and split-phase alike. Grow-only: once a solver
+/// reaches steady state every call recycles the same allocations.
+///
+/// One `ExchangeBuffers` value also carries the [`scomm::Exchange`]
+/// stream state for the split-phase paths, so at most one split-phase
+/// round (forward *or* reverse) can be in flight per buffer set. Two
+/// buffer sets whose rounds overlap in time (e.g. the velocity and
+/// pressure ghost layers of a Stokes operator) must use distinct stream
+/// ids — construct them with [`ExchangeBuffers::with_stream`].
 #[derive(Debug, Default)]
 pub struct ExchangeBuffers {
     send: Vec<f64>,
     send_counts: Vec<usize>,
     recv: Vec<f64>,
     recv_counts: Vec<usize>,
+    /// Expected per-source element counts of the posted round.
+    expect: Vec<usize>,
+    /// Split-phase stream state (tag namespace + round sequencing).
+    ex: scomm::Exchange,
 }
 
 impl ExchangeBuffers {
@@ -71,13 +82,27 @@ impl ExchangeBuffers {
         ExchangeBuffers::default()
     }
 
+    /// Buffers posting split-phase rounds under exchange stream `stream`.
+    pub fn with_stream(stream: u64) -> ExchangeBuffers {
+        ExchangeBuffers {
+            ex: scomm::Exchange::new(stream),
+            ..ExchangeBuffers::default()
+        }
+    }
+
+    /// Whether a split-phase round is posted but not yet completed.
+    pub fn in_flight(&self) -> bool {
+        self.ex.in_flight()
+    }
+
     /// Total heap capacity currently held, in bytes. Allocation audits
     /// diff this across operator applications: a zero delta proves the
     /// exchange reused its buffers.
     pub fn capacity_bytes(&self) -> u64 {
         ((self.send.capacity() + self.recv.capacity()) * std::mem::size_of::<f64>()
-            + (self.send_counts.capacity() + self.recv_counts.capacity())
+            + (self.send_counts.capacity() + self.recv_counts.capacity() + self.expect.capacity())
                 * std::mem::size_of::<usize>()) as u64
+            + self.ex.capacity_bytes()
     }
 }
 
@@ -176,6 +201,14 @@ impl ExchangePattern {
         let (owned, ghost) = v.split_at_mut(n_owned * ncomp);
         comm.alltoallv_flat(ghost, &buf.send_counts, &mut buf.recv, &mut buf.recv_counts);
         ghost.fill(0.0);
+        self.accumulate_received(owned, ncomp, buf);
+    }
+
+    /// Fold the received reverse contributions into the owned block, in
+    /// ascending source-rank then send-index order — the accumulation
+    /// order every reverse path (blocking or split-phase) shares, which
+    /// is what makes them bitwise interchangeable.
+    fn accumulate_received(&self, owned: &mut [f64], ncomp: usize, buf: &ExchangeBuffers) {
         let mut pos = 0;
         for (r, idx) in self.send_idx.iter().enumerate() {
             assert_eq!(buf.recv_counts[r], idx.len() * ncomp);
@@ -186,6 +219,104 @@ impl ExchangePattern {
                 }
             }
         }
+    }
+
+    // ----------------------------------------------------------------
+    // Split-phase (overlapped) counterparts
+    // ----------------------------------------------------------------
+
+    /// Post the ghost fill of [`ExchangePattern::exchange_interleaved`]
+    /// without completing it: pack the owned values each neighbor needs
+    /// and start a split-phase round on `buf`'s stream. Only the *owned*
+    /// block of `v` is read, so the caller is free to compute with it —
+    /// interior-element sweeps — until
+    /// [`ExchangePattern::exchange_end_interleaved`]. Not collective in
+    /// the rendezvous sense: no barrier at either end.
+    pub fn exchange_begin_interleaved(
+        &self,
+        comm: &Comm,
+        v: &[f64],
+        ncomp: usize,
+        buf: &mut ExchangeBuffers,
+    ) {
+        buf.send.clear();
+        buf.send_counts.clear();
+        for idx in &self.send_idx {
+            buf.send_counts.push(idx.len() * ncomp);
+            for &i in idx {
+                buf.send.extend_from_slice(&v[i * ncomp..(i + 1) * ncomp]);
+            }
+        }
+        buf.expect.clear();
+        buf.expect
+            .extend(self.recv_counts.iter().map(|&c| c * ncomp));
+        comm.exchange_start(&buf.send, &buf.send_counts, &buf.expect, &mut buf.ex);
+    }
+
+    /// Complete the round posted by
+    /// [`ExchangePattern::exchange_begin_interleaved`] and copy the
+    /// received values into the ghost block of `v`. The ghost block ends
+    /// up bitwise identical to what the blocking
+    /// [`ExchangePattern::exchange_interleaved`] produces: the payloads,
+    /// their packing order and the source-rank receive order are all the
+    /// same — only the completion point moved.
+    pub fn exchange_end_interleaved(
+        &self,
+        comm: &Comm,
+        v: &mut [f64],
+        n_owned: usize,
+        ncomp: usize,
+        buf: &mut ExchangeBuffers,
+    ) {
+        comm.exchange_end(&mut buf.ex, &mut buf.recv, &mut buf.recv_counts);
+        for (r, &cnt) in self.recv_counts.iter().enumerate() {
+            assert_eq!(buf.recv_counts[r], cnt * ncomp);
+        }
+        let ghost = &mut v[n_owned * ncomp..];
+        assert_eq!(ghost.len(), buf.recv.len());
+        ghost.copy_from_slice(&buf.recv);
+    }
+
+    /// Post the reverse accumulation of
+    /// [`ExchangePattern::reverse_accumulate_interleaved`] without
+    /// completing it: the ghost block is sent back to the owners (payload
+    /// copied at post time) and zeroed. The owned block is untouched until
+    /// [`ExchangePattern::reverse_accumulate_end_interleaved`].
+    pub fn reverse_accumulate_begin_interleaved(
+        &self,
+        comm: &Comm,
+        v: &mut [f64],
+        n_owned: usize,
+        ncomp: usize,
+        buf: &mut ExchangeBuffers,
+    ) {
+        buf.send_counts.clear();
+        buf.send_counts
+            .extend(self.recv_counts.iter().map(|&c| c * ncomp));
+        buf.expect.clear();
+        buf.expect
+            .extend(self.send_idx.iter().map(|idx| idx.len() * ncomp));
+        let ghost = &mut v[n_owned * ncomp..];
+        comm.exchange_start(ghost, &buf.send_counts, &buf.expect, &mut buf.ex);
+        ghost.fill(0.0);
+    }
+
+    /// Complete the round posted by
+    /// [`ExchangePattern::reverse_accumulate_begin_interleaved`],
+    /// accumulating the neighbors' contributions into the owned block in
+    /// the shared source-rank order — bitwise identical to the blocking
+    /// reverse path.
+    pub fn reverse_accumulate_end_interleaved(
+        &self,
+        comm: &Comm,
+        v: &mut [f64],
+        n_owned: usize,
+        ncomp: usize,
+        buf: &mut ExchangeBuffers,
+    ) {
+        comm.exchange_end(&mut buf.ex, &mut buf.recv, &mut buf.recv_counts);
+        let owned = &mut v[..n_owned * ncomp];
+        self.accumulate_received(owned, ncomp, buf);
     }
 }
 
@@ -217,6 +348,17 @@ pub struct Mesh {
     pub dof_keys: Vec<NodeKey>,
     /// Ghost exchange pattern.
     pub exchange: ExchangePattern,
+    /// Local element indices whose corners resolve (through hanging-node
+    /// constraints) exclusively to owned dofs that no neighbor rank
+    /// ghosts: their sweep neither reads ghost values nor contributes to
+    /// any value another rank is waiting for, so they can be processed
+    /// while a ghost exchange is in flight.
+    pub interior_elems: Vec<u32>,
+    /// The complement of [`Mesh::interior_elems`]: elements touching a
+    /// ghost dof or a shared owned dof, swept only after the exchange
+    /// completes. `interior_elems ∪ surface_elems` enumerates
+    /// `0..elements.len()` exactly once, each list ascending.
+    pub surface_elems: Vec<u32>,
 }
 
 impl Mesh {
@@ -756,6 +898,38 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
         })
         .collect();
 
+    // ---- Interior/surface element classification --------------------
+    // An element is *interior* iff every corner resolves (through
+    // hanging-node constraints) exclusively to owned dofs that appear in
+    // no rank's send list: reading its corners needs no ghost value and
+    // writing its residual touches no dof a neighbor exchange carries.
+    // Interior elements are exactly the ones an overlapped operator may
+    // sweep while the ghost exchange is still in flight (Tu, O'Hallaron
+    // & Ghattas SC'05; Burstedde et al. SC'08 §4).
+    let mut shared = vec![false; n_owned + n_ghost];
+    for s in shared.iter_mut().skip(n_owned) {
+        *s = true; // every ghost dof is shared by definition
+    }
+    for idx in &send_idx {
+        for &i in idx {
+            shared[i] = true;
+        }
+    }
+    let dof_is_interior = |d: usize| !shared[d];
+    let mut interior_elems: Vec<u32> = Vec::new();
+    let mut surface_elems: Vec<u32> = Vec::new();
+    for (e, refs) in elem_nodes.iter().enumerate() {
+        let interior = refs.iter().all(|&nref| match &node_table[nref as usize] {
+            NodeResolution::Dof(d) => dof_is_interior(*d),
+            NodeResolution::Constrained(terms) => terms.iter().all(|&(d, _)| dof_is_interior(d)),
+        });
+        if interior {
+            interior_elems.push(e as u32);
+        } else {
+            surface_elems.push(e as u32);
+        }
+    }
+
     // dof keys: owned then ghost (`owned_keys` is not needed again, so
     // move it instead of copying).
     let mut dof_keys = owned_keys;
@@ -794,6 +968,8 @@ pub fn extract_mesh(tree: &DistOctree, domain: [f64; 3]) -> Mesh {
             send_idx,
             recv_counts,
         },
+        interior_elems,
+        surface_elems,
     }
 }
 
@@ -1033,6 +1209,158 @@ mod tests {
                 .reverse_accumulate_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
             assert_eq!(buf.capacity_bytes(), cap, "buffers must be reused");
         });
+    }
+
+    #[test]
+    fn split_phase_exchange_bitwise_matches_blocking() {
+        // The begin/end pair must reproduce the blocking interleaved
+        // paths bit for bit — same payloads, same packing, same receive
+        // order; only the completion point moves — and the buffers must
+        // stop growing after the first round.
+        spmd::run(4, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            t.refine(|o| o.center_unit()[2] > 0.6);
+            t.balance(BalanceKind::Full);
+            t.partition();
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let ncomp = 3;
+            let n_local = m.n_local();
+            let fill = |d: usize, k: usize| {
+                let g = (m.global_offset + d as u64) as f64;
+                (g + 1.0) * (k as f64 + 1.0) * 0.37 - g * 0.11
+            };
+
+            // Blocking reference.
+            let mut v_ref = vec![0.0; n_local * ncomp];
+            for d in 0..m.n_owned {
+                for k in 0..ncomp {
+                    v_ref[d * ncomp + k] = fill(d, k);
+                }
+            }
+            let mut buf_ref = ExchangeBuffers::new();
+            m.exchange
+                .exchange_interleaved(c, &mut v_ref, m.n_owned, ncomp, &mut buf_ref);
+
+            // Split-phase path.
+            let mut v = vec![0.0; n_local * ncomp];
+            for d in 0..m.n_owned {
+                for k in 0..ncomp {
+                    v[d * ncomp + k] = fill(d, k);
+                }
+            }
+            let mut buf = ExchangeBuffers::with_stream(1);
+            m.exchange
+                .exchange_begin_interleaved(c, &v, ncomp, &mut buf);
+            assert!(buf.in_flight());
+            m.exchange
+                .exchange_end_interleaved(c, &mut v, m.n_owned, ncomp, &mut buf);
+            assert!(!buf.in_flight());
+            assert_eq!(v, v_ref, "ghost values must be bitwise identical");
+
+            // Reverse: seed identical ghost contributions on both paths.
+            let mut w_ref = vec![0.0; n_local * ncomp];
+            let mut w = vec![0.0; n_local * ncomp];
+            for g in 0..m.n_ghost {
+                for k in 0..ncomp {
+                    let val = fill(g, k) + 0.5;
+                    w_ref[(m.n_owned + g) * ncomp + k] = val;
+                    w[(m.n_owned + g) * ncomp + k] = val;
+                }
+            }
+            m.exchange.reverse_accumulate_interleaved(
+                c,
+                &mut w_ref,
+                m.n_owned,
+                ncomp,
+                &mut buf_ref,
+            );
+            m.exchange
+                .reverse_accumulate_begin_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
+            m.exchange
+                .reverse_accumulate_end_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
+            assert_eq!(w, w_ref, "accumulated values must be bitwise identical");
+
+            // Steady state: warm rounds reuse every allocation.
+            let cap = buf.capacity_bytes();
+            m.exchange
+                .exchange_begin_interleaved(c, &v, ncomp, &mut buf);
+            m.exchange
+                .exchange_end_interleaved(c, &mut v, m.n_owned, ncomp, &mut buf);
+            m.exchange
+                .reverse_accumulate_begin_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
+            m.exchange
+                .reverse_accumulate_end_interleaved(c, &mut w, m.n_owned, ncomp, &mut buf);
+            assert_eq!(buf.capacity_bytes(), cap, "buffers must be reused");
+        });
+    }
+
+    #[test]
+    fn interior_surface_partition_invariants() {
+        for nranks in [1usize, 2, 4] {
+            spmd::run(nranks, |c| {
+                let mut t = DistOctree::new_uniform(c, 2);
+                t.refine(|o| o.center_unit()[2] > 0.6);
+                t.balance(BalanceKind::Full);
+                t.partition();
+                let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                // The two lists partition 0..elements.len(), each ascending.
+                let mut all: Vec<u32> = m
+                    .interior_elems
+                    .iter()
+                    .chain(m.surface_elems.iter())
+                    .copied()
+                    .collect();
+                assert!(m.interior_elems.windows(2).all(|w| w[0] < w[1]));
+                assert!(m.surface_elems.windows(2).all(|w| w[0] < w[1]));
+                all.sort_unstable();
+                let want: Vec<u32> = (0..m.elements.len() as u32).collect();
+                assert_eq!(all, want, "lists must partition the element range");
+                // Interior elements must resolve to owned dofs only (the
+                // not-shared half of the rule is pinned by construction
+                // and by the overlap differential tests).
+                for &e in &m.interior_elems {
+                    for &nref in &m.elem_nodes[e as usize] {
+                        match &m.node_table[nref as usize] {
+                            NodeResolution::Dof(d) => assert!(*d < m.n_owned),
+                            NodeResolution::Constrained(terms) => {
+                                assert!(terms.iter().all(|&(d, _)| d < m.n_owned))
+                            }
+                        }
+                    }
+                }
+                if c.size() == 1 {
+                    // Serial: nothing is shared, every element is interior.
+                    assert!(m.surface_elems.is_empty());
+                    assert_eq!(m.interior_elems.len(), m.elements.len());
+                } else {
+                    assert!(
+                        !m.surface_elems.is_empty(),
+                        "a partitioned mesh must have surface elements"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn interior_surface_counts_pinned_on_adapted_tree() {
+        // Known 4-rank adapted fixture (same tree as the exchange tests):
+        // uniform level 2, refine z > 0.6, full balance, repartition.
+        // Pinned per-rank (interior, surface) counts catch silent changes
+        // to the classification rule or the partition.
+        let out = spmd::run(4, |c| {
+            let mut t = DistOctree::new_uniform(c, 2);
+            t.refine(|o| o.center_unit()[2] > 0.6);
+            t.balance(BalanceKind::Full);
+            t.partition();
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            (m.interior_elems.len(), m.surface_elems.len())
+        });
+        // 64 level-2 cells; the 32 with z-center > 0.6 refine into 8 each:
+        // 32 + 256 = 288 elements, Morton-partitioned over 4 ranks.
+        let total: usize = out.iter().map(|&(i, s)| i + s).sum();
+        assert_eq!(total, 32 + 32 * 8);
+        assert_eq!(out, vec![(24, 48), (11, 61), (9, 63), (29, 43)]);
     }
 
     #[test]

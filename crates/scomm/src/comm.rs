@@ -12,6 +12,7 @@
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex};
 
@@ -19,7 +20,13 @@ use obs::Recorder;
 
 use crate::fault::{FaultCounters, FaultPlan, FaultState};
 use crate::pod::{as_bytes, from_bytes, Pod};
+use crate::request::{Exchange, RecvRequest, SendRequest};
 use crate::stats::CommStats;
+
+/// Name under which completed nonblocking receives and exchange rounds
+/// accumulate their overlap window (post→wait-entry, i.e. the time a
+/// request was in flight while the rank was free to compute).
+pub const OVERLAP_COUNTER: &str = "comm.overlap_ns";
 
 /// A point-to-point message in flight.
 pub(crate) struct Message {
@@ -245,24 +252,31 @@ impl Comm {
             .expect("receiver hung up: peer rank terminated early");
     }
 
-    /// Blocking receive of a message from `src` with `tag`.
-    pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> Vec<T> {
-        let _t = self.op_span("comm:recv");
-        // First scan messages that arrived earlier but were not matched.
+    /// Block until a message from `src` with `tag` is available and return
+    /// it: the matching core shared by `recv`, `wait` and `exchange_end`.
+    /// Scans earlier unmatched arrivals first, then pulls from the wire
+    /// (through the fault scheduler when one is attached, so delays and
+    /// reordering take effect here — at completion time).
+    fn match_message(&self, src: usize, tag: u64) -> Message {
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = pending.remove(pos).unwrap();
-                return from_bytes(&msg.bytes);
+                return pending.remove(pos).unwrap();
             }
         }
         loop {
             let msg = self.pull_message();
             if msg.src == src && msg.tag == tag {
-                return from_bytes(&msg.bytes);
+                return msg;
             }
             self.pending.borrow_mut().push_back(msg);
         }
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> Vec<T> {
+        let _t = self.op_span("comm:recv");
+        from_bytes(&self.match_message(src, tag).bytes)
     }
 
     /// Blocking receive of the next message with `tag` from any source.
@@ -290,6 +304,261 @@ impl Comm {
     pub fn sendrecv<T: Pod>(&self, dst: usize, src: usize, tag: u64, data: &[T]) -> Vec<T> {
         self.send(dst, tag, data);
         self.recv(src, tag)
+    }
+
+    // ----------------------------------------------------------------
+    // Nonblocking point-to-point (request-based contract)
+    // ----------------------------------------------------------------
+
+    /// Nonblocking send. The simulated transport buffers sends, so the
+    /// payload is already on its way when this returns and the request is
+    /// complete at post time; statistics and telemetry are identical to
+    /// [`Comm::send`].
+    pub fn isend<T: Pod>(&self, dst: usize, tag: u64, data: &[T]) -> SendRequest {
+        let _t = self.op_span("comm:isend");
+        let bytes = as_bytes(data).to_vec();
+        self.op_bytes(bytes.len() as u64);
+        {
+            let mut s = self.stats.borrow_mut();
+            s.p2p_messages += 1;
+            s.p2p_bytes += bytes.len() as u64;
+        }
+        self.world.senders[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                bytes,
+            })
+            .expect("receiver hung up: peer rank terminated early");
+        SendRequest { dst, tag }
+    }
+
+    /// Post a nonblocking receive for a message from `src` with `tag`.
+    ///
+    /// Nothing happens at post time beyond timestamping: matching, fault
+    /// jitter and telemetry all run when the request is completed with
+    /// [`Comm::wait`] / [`Comm::wait_into`] / [`Comm::waitall`]. The span
+    /// recorded at completion covers post→complete, and the time between
+    /// post and the entry into `wait` — the window in which the rank was
+    /// free to compute while the request was in flight — accumulates into
+    /// the [`OVERLAP_COUNTER`] (`comm.overlap_ns`) counter.
+    pub fn irecv<T: Pod>(&self, src: usize, tag: u64) -> RecvRequest<T> {
+        RecvRequest {
+            src,
+            tag,
+            posted_ns: self.rec.borrow().as_ref().map(|r| r.now_ns()),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Complete a posted receive, blocking until the message arrives.
+    /// Fault-plan delays stall *here*, and a planned drop panics *here* —
+    /// completion time — never at post time.
+    pub fn wait<T: Pod>(&self, req: RecvRequest<T>) -> Vec<T> {
+        let wait_entry = self.rec.borrow().as_ref().map(|r| r.now_ns());
+        let msg = self.match_message(req.src, req.tag);
+        self.finish_recv(&req, wait_entry, msg.bytes.len() as u64);
+        from_bytes(&msg.bytes)
+    }
+
+    /// Allocation-free counterpart of [`Comm::wait`]: the payload is
+    /// appended to `out` (cleared first, capacity reused).
+    pub fn wait_into<T: Pod>(&self, req: RecvRequest<T>, out: &mut Vec<T>) {
+        let wait_entry = self.rec.borrow().as_ref().map(|r| r.now_ns());
+        let msg = self.match_message(req.src, req.tag);
+        self.finish_recv(&req, wait_entry, msg.bytes.len() as u64);
+        out.clear();
+        crate::pod::extend_from_bytes(out, &msg.bytes);
+    }
+
+    /// Complete a batch of posted receives in order; returns one payload
+    /// per request.
+    pub fn waitall<T: Pod>(&self, reqs: impl IntoIterator<Item = RecvRequest<T>>) -> Vec<Vec<T>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Non-blocking probe: has the message for `req` arrived? Drains
+    /// already-arrived traffic into the pending queue (through the fault
+    /// scheduler's admission when a plan is attached) but never blocks and
+    /// never advances the fault clock — a message the plan is still
+    /// holding stays invisible until [`Comm::wait`] forces its release.
+    pub fn test<T: Pod>(&self, req: &RecvRequest<T>) -> bool {
+        {
+            let mut fault = self.fault.borrow_mut();
+            if let Some(fs) = fault.as_mut() {
+                while let Ok(m) = self.inbox.try_recv() {
+                    let (src, tag) = (m.src, m.tag);
+                    fs.admit(src, tag, m);
+                }
+                let mut pending = self.pending.borrow_mut();
+                while let Some(m) = fs.pop_ready() {
+                    pending.push_back(m);
+                }
+            } else {
+                let mut pending = self.pending.borrow_mut();
+                while let Ok(m) = self.inbox.try_recv() {
+                    pending.push_back(m);
+                }
+            }
+        }
+        self.pending
+            .borrow()
+            .iter()
+            .any(|m| m.src == req.src && m.tag == req.tag)
+    }
+
+    /// Completion-side telemetry shared by `wait`/`wait_into`: a span
+    /// covering post→complete and the computed overlap window.
+    fn finish_recv<T: Pod>(&self, req: &RecvRequest<T>, wait_entry: Option<u64>, bytes: u64) {
+        if let Some(r) = self.rec.borrow().as_ref() {
+            let end = r.now_ns();
+            let post = req.posted_ns.unwrap_or(end);
+            r.add_span_external("comm:irecv", "comm", post, end.saturating_sub(post));
+            r.add_count(
+                OVERLAP_COUNTER,
+                wait_entry.unwrap_or(end).saturating_sub(post),
+            );
+            r.record_value("comm.bytes", bytes);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Split-phase neighbor exchange
+    // ----------------------------------------------------------------
+
+    /// Post one round of a split-phase neighbor exchange: the
+    /// request-based counterpart of [`Comm::alltoallv_flat`], with the
+    /// same flat-buffer convention. `send` holds the payloads for ranks
+    /// `0..size()` back to back (`send_counts[d]` elements each) and
+    /// `recv_counts[s]` is the number of elements this rank expects from
+    /// rank `s` — split-phase completion has no rendezvous at which the
+    /// counts could be discovered, so the caller must know them (ghost
+    /// exchange patterns always do).
+    ///
+    /// One tagged point-to-point message is posted per destination with a
+    /// nonempty payload; the self-payload is staged locally. No barrier is
+    /// involved at either end: a rank only ever waits for the neighbors it
+    /// expects data from, and only at [`Comm::exchange_end`].
+    pub fn exchange_start<T: Pod>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+        recv_counts: &[usize],
+        ex: &mut Exchange,
+    ) {
+        let p = self.size();
+        assert_eq!(send_counts.len(), p, "exchange needs one count per rank");
+        assert_eq!(recv_counts.len(), p, "exchange needs one count per rank");
+        assert_eq!(
+            send_counts.iter().sum::<usize>(),
+            send.len(),
+            "send counts must cover the flat send buffer exactly"
+        );
+        assert!(
+            !ex.in_flight,
+            "exchange_start called twice on stream {} without exchange_end",
+            ex.stream
+        );
+        let tag = ex.tag();
+        ex.expect.clear();
+        ex.expect.extend_from_slice(recv_counts);
+        ex.self_buf.clear();
+        ex.posted_ns = self.rec.borrow().as_ref().map(|r| r.now_ns());
+        let mut sent_bytes = 0u64;
+        let mut msgs = 0u64;
+        let mut off = 0usize;
+        for (dst, &cnt) in send_counts.iter().enumerate() {
+            let chunk = &send[off..off + cnt];
+            off += cnt;
+            if dst == self.rank {
+                ex.self_buf.extend_from_slice(as_bytes(chunk));
+                continue;
+            }
+            if cnt == 0 {
+                continue;
+            }
+            let bytes = as_bytes(chunk).to_vec();
+            sent_bytes += bytes.len() as u64;
+            msgs += 1;
+            self.world.senders[dst]
+                .send(Message {
+                    src: self.rank,
+                    tag,
+                    bytes,
+                })
+                .expect("receiver hung up: peer rank terminated early");
+        }
+        {
+            let mut s = self.stats.borrow_mut();
+            s.exchanges += 1;
+            s.p2p_messages += msgs;
+            s.p2p_bytes += sent_bytes;
+        }
+        self.op_bytes(sent_bytes);
+        ex.in_flight = true;
+    }
+
+    /// Complete the in-flight exchange round on `ex`. Payloads are
+    /// appended to `recv` (cleared first, capacity reused) in source-rank
+    /// order and `recv_counts` reports per-source element counts — the
+    /// exact layout [`Comm::alltoallv_flat`] produces, so the two are
+    /// drop-in interchangeable for a caller that knows its receive counts.
+    ///
+    /// Blocks per missing neighbor message; fault-plan delays and drops
+    /// act here, at completion. With a recorder attached, a `comm`-span
+    /// covering post→complete is recorded and the post→entry window
+    /// accumulates into `comm.overlap_ns`.
+    pub fn exchange_end<T: Pod>(
+        &self,
+        ex: &mut Exchange,
+        recv: &mut Vec<T>,
+        recv_counts: &mut Vec<usize>,
+    ) {
+        assert!(
+            ex.in_flight,
+            "exchange_end on stream {} without a posted exchange_start",
+            ex.stream
+        );
+        let p = self.size();
+        let tag = ex.tag();
+        let wait_entry = self.rec.borrow().as_ref().map(|r| r.now_ns());
+        recv.clear();
+        recv_counts.clear();
+        let elem = std::mem::size_of::<T>().max(1);
+        for src in 0..p {
+            let cnt = ex.expect[src];
+            recv_counts.push(cnt);
+            if src == self.rank {
+                assert_eq!(
+                    ex.self_buf.len(),
+                    cnt * elem,
+                    "self payload does not match the expected count"
+                );
+                crate::pod::extend_from_bytes(recv, &ex.self_buf);
+                continue;
+            }
+            if cnt == 0 {
+                continue;
+            }
+            let msg = self.match_message(src, tag);
+            assert_eq!(
+                msg.bytes.len(),
+                cnt * elem,
+                "exchange payload from rank {src} does not match the expected count"
+            );
+            crate::pod::extend_from_bytes(recv, &msg.bytes);
+        }
+        ex.in_flight = false;
+        ex.seq = ex.seq.wrapping_add(1);
+        if let Some(r) = self.rec.borrow().as_ref() {
+            let end = r.now_ns();
+            let post = ex.posted_ns.unwrap_or(end);
+            r.add_span_external("comm:exchange", "comm", post, end.saturating_sub(post));
+            r.add_count(
+                OVERLAP_COUNTER,
+                wait_entry.unwrap_or(end).saturating_sub(post),
+            );
+        }
     }
 
     // ----------------------------------------------------------------
@@ -372,6 +641,18 @@ impl Comm {
     /// All-reduce with an arbitrary elementwise combiner. All ranks must
     /// pass equal-length slices.
     pub fn allreduce<T: Pod, F: Fn(T, T) -> T>(&self, data: &[T], op: F) -> Vec<T> {
+        let mut out = Vec::with_capacity(data.len());
+        self.allreduce_into(data, &mut out, op);
+        out
+    }
+
+    /// The single generic reduction path behind every `allreduce*` entry
+    /// point: gather contributions and fold them elementwise into `out`
+    /// (cleared first, capacity reused). The fold order is fixed — rank 0's
+    /// contribution first, then ascending rank order — independent of
+    /// message timing, so for any deterministic combiner the result is
+    /// bitwise identical on every rank.
+    pub fn allreduce_into<T: Pod, F: Fn(T, T) -> T>(&self, data: &[T], out: &mut Vec<T>, op: F) {
         let _t = self.op_span("comm:allreduce");
         let n = data.len();
         let gathered = self.allgatherv(data);
@@ -384,26 +665,26 @@ impl Comm {
         s.allreduces += 1;
         s.allgathers -= 1; // implemented on top of allgather; count once
         drop(s);
-        let mut out: Vec<T> = gathered[..n].to_vec();
+        out.clear();
+        out.extend_from_slice(&gathered[..n]);
         for r in 1..self.size() {
             for i in 0..n {
                 out[i] = op(out[i], gathered[r * n + i]);
             }
         }
-        out
     }
 
-    /// Elementwise global sum.
+    /// Elementwise global sum (via the generic [`Comm::allreduce`] path).
     pub fn allreduce_sum<T: Pod + std::ops::Add<Output = T>>(&self, data: &[T]) -> Vec<T> {
         self.allreduce(data, |a, b| a + b)
     }
 
-    /// Elementwise global max (by `PartialOrd`).
+    /// Elementwise global max (via the generic [`Comm::allreduce`] path).
     pub fn allreduce_max<T: Pod + PartialOrd>(&self, data: &[T]) -> Vec<T> {
         self.allreduce(data, |a, b| if b > a { b } else { a })
     }
 
-    /// Elementwise global min (by `PartialOrd`).
+    /// Elementwise global min (via the generic [`Comm::allreduce`] path).
     pub fn allreduce_min<T: Pod + PartialOrd>(&self, data: &[T]) -> Vec<T> {
         self.allreduce(data, |a, b| if b < a { b } else { a })
     }
@@ -829,6 +1110,294 @@ mod tests {
                 assert_eq!(payload, &vec![(src + me) as u64]);
             }
         }
+    }
+
+    #[test]
+    fn isend_irecv_wait_ring() {
+        // The p2p ring again, through the request-based contract: post the
+        // receive before sending, then complete it.
+        let p = 6;
+        let out = spmd::run(p, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            let mut token = vec![c.rank() as u64];
+            for _ in 0..c.size() {
+                let rreq = c.irecv::<u64>(prev, 7);
+                c.isend(next, 7, &token).wait();
+                token = c.wait(rreq);
+            }
+            token[0]
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v, r as u64);
+        }
+    }
+
+    #[test]
+    fn waitall_completes_out_of_order_posts() {
+        let out = spmd::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[10u64]);
+                c.send(1, 2, &[20u64]);
+                0
+            } else {
+                // Post in reverse tag order; waitall completes in post
+                // order, exercising the pending-queue scan.
+                let reqs = vec![c.irecv::<u64>(0, 2), c.irecv::<u64>(0, 1)];
+                let got = c.waitall(reqs);
+                got[0][0] * 100 + got[1][0]
+            }
+        });
+        assert_eq!(out[1], 2010);
+    }
+
+    #[test]
+    fn test_probes_without_consuming() {
+        let out = spmd::run(2, |c| {
+            if c.rank() == 0 {
+                let go = c.recv::<u8>(1, 9);
+                assert_eq!(go, vec![1]);
+                c.send(1, 5, &[33u64]);
+                0
+            } else {
+                let req = c.irecv::<u64>(0, 5);
+                assert!(!c.test(&req), "nothing sent yet");
+                c.send(0, 9, &[1u8]);
+                // Poll until the message lands; test must not consume it.
+                while !c.test(&req) {
+                    std::thread::yield_now();
+                }
+                assert!(c.test(&req), "probe must be repeatable");
+                let v = c.wait(req);
+                v[0]
+            }
+        });
+        assert_eq!(out[1], 33);
+    }
+
+    #[test]
+    fn wait_into_reuses_buffer() {
+        let out = spmd::run(2, |c| {
+            if c.rank() == 0 {
+                for round in 0..4u64 {
+                    c.send(1, 3, &[round; 16]);
+                }
+                0
+            } else {
+                let mut buf: Vec<u64> = Vec::new();
+                let req = c.irecv::<u64>(0, 3);
+                c.wait_into(req, &mut buf);
+                let ptr = buf.as_ptr();
+                for round in 1..4u64 {
+                    let req = c.irecv::<u64>(0, 3);
+                    c.wait_into(req, &mut buf);
+                    assert_eq!(buf, vec![round; 16]);
+                    assert_eq!(buf.as_ptr(), ptr, "wait_into must not reallocate");
+                }
+                buf[0]
+            }
+        });
+        assert_eq!(out[1], 3);
+    }
+
+    #[test]
+    fn exchange_matches_alltoallv_flat() {
+        // The split-phase pair must produce the exact flat layout of
+        // alltoallv_flat — including the staged self-payload — and account
+        // the same p2p message/byte deltas plus one exchange round.
+        let p = 4;
+        let out = spmd::run(p, |c| {
+            let me = c.rank();
+            let send: Vec<u64> = (0..c.size())
+                .flat_map(|d| (0..d).map(move |i| (me * 100 + d * 10 + i) as u64))
+                .collect();
+            let send_counts: Vec<usize> = (0..c.size()).collect();
+            let mut recv = Vec::new();
+            let mut recv_counts = Vec::new();
+            c.alltoallv_flat(&send, &send_counts, &mut recv, &mut recv_counts);
+            let s0 = c.stats();
+
+            let mut ex = crate::request::Exchange::new(4);
+            let expect = vec![me; c.size()];
+            let mut recv2: Vec<u64> = Vec::new();
+            let mut recv2_counts = Vec::new();
+            c.exchange_start(&send, &send_counts, &expect, &mut ex);
+            assert!(ex.in_flight());
+            c.exchange_end(&mut ex, &mut recv2, &mut recv2_counts);
+            assert!(!ex.in_flight());
+            let s1 = c.stats();
+
+            assert_eq!(recv2, recv);
+            assert_eq!(recv2_counts, recv_counts);
+            assert_eq!(s1.exchanges - s0.exchanges, 1);
+            assert_eq!(s1.alltoalls, s0.alltoalls);
+            assert_eq!(s1.p2p_messages - s0.p2p_messages, s0.p2p_messages);
+            assert_eq!(s1.p2p_bytes - s0.p2p_bytes, s0.p2p_bytes);
+
+            // Warm rounds must reuse the receive buffer's allocation.
+            let ptr = recv2.as_ptr();
+            c.exchange_start(&send, &send_counts, &expect, &mut ex);
+            c.exchange_end(&mut ex, &mut recv2, &mut recv2_counts);
+            assert_eq!(recv2, recv);
+            assert_eq!(
+                recv2.as_ptr(),
+                ptr,
+                "split-phase exchange must not reallocate"
+            );
+            recv2.len()
+        });
+        // Rank r expects r elements from each source in this payload shape.
+        for (r, len) in out.iter().enumerate() {
+            assert_eq!(*len, r * p);
+        }
+    }
+
+    #[test]
+    fn concurrent_exchange_streams_do_not_cross() {
+        // Two exchanges in flight at once on distinct streams — the Stokes
+        // velocity/pressure pattern — must each deliver their own payloads.
+        let p = 3;
+        let out = spmd::run(p, |c| {
+            let me = c.rank() as u64;
+            let ones = vec![1usize; c.size()];
+            let a_send: Vec<u64> = (0..c.size() as u64).map(|d| 1000 + me * 10 + d).collect();
+            let b_send: Vec<u64> = (0..c.size() as u64).map(|d| 2000 + me * 10 + d).collect();
+            let mut exa = crate::request::Exchange::new(1);
+            let mut exb = crate::request::Exchange::new(2);
+            let (mut ra, mut ca): (Vec<u64>, Vec<usize>) = (Vec::new(), Vec::new());
+            let (mut rb, mut cb): (Vec<u64>, Vec<usize>) = (Vec::new(), Vec::new());
+            for _ in 0..8 {
+                c.exchange_start(&a_send, &ones, &ones, &mut exa);
+                c.exchange_start(&b_send, &ones, &ones, &mut exb);
+                // Complete in the opposite order of posting.
+                c.exchange_end(&mut exb, &mut rb, &mut cb);
+                c.exchange_end(&mut exa, &mut ra, &mut ca);
+                let want_a: Vec<u64> = (0..c.size() as u64).map(|s| 1000 + s * 10 + me).collect();
+                let want_b: Vec<u64> = (0..c.size() as u64).map(|s| 2000 + s * 10 + me).collect();
+                assert_eq!(ra, want_a);
+                assert_eq!(rb, want_b);
+            }
+            c.stats().exchanges
+        });
+        for e in out {
+            assert_eq!(e, 16);
+        }
+    }
+
+    #[test]
+    fn overlap_counter_measures_post_to_wait_window() {
+        use obs::Recorder;
+        let out = spmd::run(2, |c| {
+            let rec = Recorder::new_manual_clock(c.rank());
+            c.set_recorder(rec.clone());
+            if c.rank() == 0 {
+                let go = c.recv::<u8>(1, 9);
+                assert_eq!(go, vec![2]);
+                c.send(1, 5, &[7.0f64]);
+                0
+            } else {
+                let req = c.irecv::<f64>(0, 5);
+                c.send(0, 9, &[2u8]);
+                // "Compute" for 1000 virtual ns while the request is in
+                // flight, then complete it.
+                rec.advance_clock(1000);
+                let v = c.wait(req);
+                assert_eq!(v, vec![7.0]);
+                rec.profile().summary.counters[crate::comm::OVERLAP_COUNTER]
+            }
+        });
+        assert_eq!(out[1], 1000, "overlap window must be post→wait-entry");
+    }
+
+    #[test]
+    fn exchange_records_span_and_overlap() {
+        use obs::Recorder;
+        let p = 2;
+        let out = spmd::run(p, |c| {
+            let rec = Recorder::new_manual_clock(c.rank());
+            c.set_recorder(rec.clone());
+            let ones = vec![1usize; p];
+            let send = vec![c.rank() as u64; p];
+            let mut ex = crate::request::Exchange::new(1);
+            let (mut recv, mut counts): (Vec<u64>, Vec<usize>) = (Vec::new(), Vec::new());
+            c.exchange_start(&send, &ones, &ones, &mut ex);
+            rec.advance_clock(500);
+            c.exchange_end(&mut ex, &mut recv, &mut counts);
+            let prof = rec.profile();
+            let overlap = prof.summary.counters[crate::comm::OVERLAP_COUNTER];
+            let has_span = prof.spans.iter().any(|s| s.name == "comm:exchange");
+            (overlap, has_span)
+        });
+        for (overlap, has_span) in out {
+            assert_eq!(overlap, 500);
+            assert!(has_span, "exchange completion must record a comm span");
+        }
+    }
+
+    #[test]
+    fn fault_injection_nonblocking_delays_apply_at_completion() {
+        // Mirrors the blocking fault test through irecv/wait: payloads and
+        // FIFO per (src, tag) must survive adversarial delays, the plan
+        // must actually delay something, and same seed ⇒ same counters.
+        use crate::fault::FaultPlan;
+        let run_once = || {
+            spmd::run(4, |c| {
+                c.set_fault_plan(Some(FaultPlan::delays(0xabad)));
+                let next = (c.rank() + 1) % c.size();
+                let prev = (c.rank() + c.size() - 1) % c.size();
+                for round in 0..20u64 {
+                    let req = c.irecv::<u64>(prev, round % 3);
+                    c.isend(next, round % 3, &[round]).wait();
+                    let v = c.wait(req);
+                    assert_eq!(v, vec![round]);
+                    c.barrier();
+                }
+                let counters = c.fault_counters().unwrap();
+                c.set_fault_plan(None);
+                counters
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same seed must reproduce the same schedule");
+        assert!(a.iter().all(|f| f.admitted == 20));
+        assert!(
+            a.iter().map(|f| f.delayed).sum::<u64>() > 0,
+            "the plan must actually delay some completions"
+        );
+    }
+
+    #[test]
+    fn fault_injection_exchange_delays_apply_at_completion() {
+        use crate::fault::FaultPlan;
+        let p = 4;
+        let run_once = || {
+            spmd::run(p, |c| {
+                c.set_fault_plan(Some(FaultPlan::delays(0x5eed)));
+                let me = c.rank() as u64;
+                let ones = vec![1usize; c.size()];
+                let mut ex = crate::request::Exchange::new(3);
+                let (mut recv, mut counts): (Vec<u64>, Vec<usize>) = (Vec::new(), Vec::new());
+                for round in 0..12u64 {
+                    let send: Vec<u64> = (0..c.size() as u64)
+                        .map(|d| round * 100 + me * 10 + d)
+                        .collect();
+                    c.exchange_start(&send, &ones, &ones, &mut ex);
+                    c.exchange_end(&mut ex, &mut recv, &mut counts);
+                    let want: Vec<u64> = (0..c.size() as u64)
+                        .map(|s| round * 100 + s * 10 + me)
+                        .collect();
+                    assert_eq!(recv, want, "round {round}");
+                }
+                let counters = c.fault_counters().unwrap();
+                c.set_fault_plan(None);
+                counters
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+        assert!(a.iter().map(|f| f.delayed).sum::<u64>() > 0);
     }
 
     #[test]

@@ -31,6 +31,18 @@
 //! same delay/drop decisions every time. The *interleaving* of racing
 //! ranks stays as nondeterministic as the underlying threads, which is
 //! exactly the point: results must not depend on it.
+//!
+//! **Nonblocking requests.** The scheduler sits on the receive side, in
+//! the message-pull loop shared by every completion path, so it covers
+//! the request-based contract with no extra machinery: for
+//! [`crate::Comm::irecv`] / [`crate::Comm::wait`] and the split-phase
+//! [`crate::Comm::exchange_end`], delays and reordering take effect at
+//! *completion* time (the `wait` stalls, never the post), a planned drop
+//! panics inside `wait`, and per-`(source, tag)` FIFO order is preserved
+//! across blocking and nonblocking receives alike.
+//! [`crate::Comm::test`] only admits already-arrived traffic — it never
+//! advances the virtual clock, so a held message stays invisible to
+//! polling until a `wait` forces its release.
 
 use std::collections::HashMap;
 

@@ -11,6 +11,14 @@
 //!
 //! * **Point-to-point** tagged, typed, buffered sends and blocking receives
 //!   ([`Comm::send`], [`Comm::recv`], [`Comm::sendrecv`]).
+//! * **Nonblocking requests** ([`Comm::isend`], [`Comm::irecv`],
+//!   [`Comm::wait`], [`Comm::waitall`], [`Comm::test`]) and a split-phase
+//!   neighbor exchange ([`Comm::exchange_start`] / [`Comm::exchange_end`]
+//!   over a reusable [`Exchange`] stream) — the request-based contract the
+//!   FEM layers use to overlap ghost exchange with interior computation.
+//!   Completion-time semantics (matching, fault jitter, the post→complete
+//!   telemetry span and the `comm.overlap_ns` counter) live in
+//!   [`request`].
 //! * **Collectives** — [`Comm::barrier`], [`Comm::allgather`],
 //!   [`Comm::allgatherv`], [`Comm::allreduce_sum`], [`Comm::exscan_sum`],
 //!   [`Comm::bcast`], [`Comm::alltoallv`] — all with MPI semantics
@@ -43,12 +51,14 @@ pub mod fault;
 pub mod gate;
 pub mod machine;
 pub mod pod;
+pub mod request;
 pub mod spmd;
 pub mod stats;
 
-pub use comm::Comm;
+pub use comm::{Comm, OVERLAP_COUNTER};
 pub use fault::{FaultCounters, FaultPlan};
 pub use gate::checks_enabled;
 pub use machine::MachineModel;
 pub use pod::Pod;
+pub use request::{Exchange, RecvRequest, SendRequest};
 pub use stats::CommStats;

@@ -106,6 +106,23 @@ impl MachineModel {
         msgs as f64 * self.latency + bytes_total / self.bandwidth
     }
 
+    /// Total phase time when communication is *blocking*: the rank pays
+    /// compute and communication as a sum, as every pre-split-phase code
+    /// path does.
+    pub fn t_phase_blocking(&self, t_comp: f64, t_comm: f64) -> f64 {
+        t_comp + t_comm
+    }
+
+    /// Total phase time when communication is *overlapped* with
+    /// computation (split-phase ghost exchange): the transfer hides behind
+    /// the interior sweep and the rank pays `max(comp, comm)` instead of
+    /// the sum. This is the idealized full-overlap bound; the measured
+    /// `comm.overlap_ns` counter reports how much of the window a real run
+    /// actually covered.
+    pub fn t_phase_overlapped(&self, t_comp: f64, t_comm: f64) -> f64 {
+        t_comp.max(t_comm)
+    }
+
     /// Model the communication time of one rank's [`CommStats`] record at
     /// world size `p`, assuming gather-style collectives carried
     /// `avg_collective_bytes` per call.
@@ -154,6 +171,18 @@ mod tests {
         let m = MachineModel::ranger();
         let small = m.t_p2p(8.0);
         assert!((small - m.latency) / m.latency < 0.1);
+    }
+
+    #[test]
+    fn overlapped_phase_never_slower_than_blocking() {
+        let m = MachineModel::ranger();
+        for (comp, comm) in [(1.0, 0.2), (0.2, 1.0), (0.5, 0.5), (0.0, 3.0)] {
+            let b = m.t_phase_blocking(comp, comm);
+            let o = m.t_phase_overlapped(comp, comm);
+            assert!(o <= b);
+            assert_eq!(o, comp.max(comm));
+            assert_eq!(b, comp + comm);
+        }
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct CommStats {
     pub bcasts: u64,
     /// All-to-all calls.
     pub alltoalls: u64,
+    /// Split-phase neighbor exchange rounds (`exchange_start`/
+    /// `exchange_end`). Their messages and bytes are already included in
+    /// the point-to-point counters — an exchange is pure p2p, with no
+    /// rendezvous — so this counts rounds, not traffic.
+    pub exchanges: u64,
     /// Bytes moved through gather-style collectives (read volume).
     pub collective_bytes: u64,
 }
@@ -52,6 +57,7 @@ impl CommStats {
         self.exscans += other.exscans;
         self.bcasts += other.bcasts;
         self.alltoalls += other.alltoalls;
+        self.exchanges += other.exchanges;
         self.collective_bytes += other.collective_bytes;
     }
 }
@@ -70,6 +76,7 @@ impl ToJson for CommStats {
             ("exscans", Value::from(self.exscans)),
             ("bcasts", Value::from(self.bcasts)),
             ("alltoalls", Value::from(self.alltoalls)),
+            ("exchanges", Value::from(self.exchanges)),
             ("collective_bytes", Value::from(self.collective_bytes)),
         ])
     }
@@ -112,6 +119,7 @@ mod tests {
             exscans: 5,
             bcasts: 6,
             alltoalls: 7,
+            exchanges: 8,
             collective_bytes: 1024,
         };
         let v = s.to_json_value();
@@ -124,6 +132,7 @@ mod tests {
             ("exscans", 5),
             ("bcasts", 6),
             ("alltoalls", 7),
+            ("exchanges", 8),
             ("collective_bytes", 1024),
         ] {
             assert_eq!(v.get(field).and_then(|x| x.as_u64()), Some(want), "{field}");

@@ -22,6 +22,12 @@ pub struct StokesOptions {
     /// the classic two-reduction iteration. On by default; the classic
     /// path is kept for differential testing.
     pub fused_reductions: bool,
+    /// Split-phase ghost exchange in operator applications: post the
+    /// velocity and pressure exchanges, sweep interior elements while the
+    /// messages are in flight, complete, then sweep surface elements. On
+    /// by default; the blocking path is kept as the differential oracle
+    /// and benchmark baseline. Results are bitwise identical either way.
+    pub overlap_exchange: bool,
 }
 
 impl Default for StokesOptions {
@@ -31,6 +37,7 @@ impl Default for StokesOptions {
             max_iter: 500,
             amg: AmgOptions::default(),
             fused_reductions: true,
+            overlap_exchange: true,
         }
     }
 }
@@ -39,7 +46,7 @@ impl Default for StokesOptions {
 /// Grow-only: after the first application every buffer has reached its
 /// final capacity and subsequent applies perform zero heap allocations
 /// (the `minres.alloc_bytes` telemetry counter proves it per solve).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SolverWorkspace {
     /// BC-zeroed owned velocity copy.
     u: Vec<f64>,
@@ -53,8 +60,26 @@ struct SolverWorkspace {
     rc: Vec<f64>,
     zc: Vec<f64>,
     /// Packed ghost-exchange staging for the velocity / scalar maps.
+    /// Distinct streams so both exchanges may be in flight concurrently
+    /// on the split-phase path without their messages crossing.
     vexch: ExchangeBuffers,
     sexch: ExchangeBuffers,
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        SolverWorkspace {
+            u: Vec::new(),
+            ul: Vec::new(),
+            pl: Vec::new(),
+            yu: Vec::new(),
+            yp: Vec::new(),
+            rc: Vec::new(),
+            zc: Vec::new(),
+            vexch: ExchangeBuffers::with_stream(1),
+            sexch: ExchangeBuffers::with_stream(2),
+        }
+    }
 }
 
 impl SolverWorkspace {
@@ -263,18 +288,60 @@ impl<'a> StokesSolver<'a> {
                 }
             }
         }
-        self.vmap.to_local_into(&ws.u, &mut ws.ul, &mut ws.vexch);
-        self.smap.to_local_into(&x[nu..], &mut ws.pl, &mut ws.sexch);
-
         ws.yu.clear();
         ws.yu.resize(self.vmap.n_local(), 0.0);
         ws.yp.clear();
         ws.yp.resize(self.smap.n_local(), 0.0);
+        // Both paths sweep interior-then-surface elements in the same
+        // order, so results are bitwise identical; only the exchange
+        // completion point differs.
+        if self.options.overlap_exchange {
+            self.vmap.fill_local(&ws.u, &mut ws.ul);
+            self.smap.fill_local(&x[nu..], &mut ws.pl);
+            self.vmap.exchange_begin(&ws.ul, &mut ws.vexch);
+            self.smap.exchange_begin(&ws.pl, &mut ws.sexch);
+            self.sweep(&self.mesh.interior_elems, ws);
+            self.vmap.exchange_end(&mut ws.ul, &mut ws.vexch);
+            self.smap.exchange_end(&mut ws.pl, &mut ws.sexch);
+            self.sweep(&self.mesh.surface_elems, ws);
+            self.vmap
+                .reverse_accumulate_begin(&mut ws.yu, &mut ws.vexch);
+            self.smap
+                .reverse_accumulate_begin(&mut ws.yp, &mut ws.sexch);
+            self.vmap.reverse_accumulate_end(&mut ws.yu, &mut ws.vexch);
+            self.smap.reverse_accumulate_end(&mut ws.yp, &mut ws.sexch);
+        } else {
+            self.vmap.to_local_into(&ws.u, &mut ws.ul, &mut ws.vexch);
+            self.smap.to_local_into(&x[nu..], &mut ws.pl, &mut ws.sexch);
+            self.sweep(&self.mesh.interior_elems, ws);
+            self.sweep(&self.mesh.surface_elems, ws);
+            self.vmap.reverse_accumulate_with(&mut ws.yu, &mut ws.vexch);
+            self.smap.reverse_accumulate_with(&mut ws.yp, &mut ws.sexch);
+        }
+        y[..nu].copy_from_slice(&ws.yu[..nu]);
+        y[nu..].copy_from_slice(&ws.yp[..np]);
+        if constrained {
+            // Identity on velocity BC rows.
+            for (i, &m) in self.vel_bc.iter().enumerate() {
+                if m {
+                    y[i] = x[i];
+                }
+            }
+        }
+    }
+
+    /// Sweep the given elements of the stabilized Stokes stencil:
+    /// gather velocity/pressure element vectors from `ws.ul`/`ws.pl`,
+    /// apply the block stencil, scatter into `ws.yu`/`ws.yp`. Interior
+    /// elements touch only non-shared owned dofs, so this is safe to run
+    /// while ghost exchanges on `ws.ul`/`ws.pl` are still in flight.
+    fn sweep(&self, elems: &[u32], ws: &mut SolverWorkspace) {
         let mut ue = [0.0; 24];
         let mut pe = [0.0; 8];
         let mut ru = [0.0; 24];
         let mut rp = [0.0; 8];
-        for e in 0..self.mesh.elements.len() {
+        for &e in elems {
+            let e = e as usize;
             let h = self.mesh.element_size(e);
             let eta = self.viscosity[e];
             let a = viscous_matrix(h, eta);
@@ -305,18 +372,6 @@ impl<'a> StokesSolver<'a> {
             }
             self.vmap.scatter_element(e, &ru, &mut ws.yu);
             self.smap.scatter_element(e, &rp, &mut ws.yp);
-        }
-        self.vmap.reverse_accumulate_with(&mut ws.yu, &mut ws.vexch);
-        self.smap.reverse_accumulate_with(&mut ws.yp, &mut ws.sexch);
-        y[..nu].copy_from_slice(&ws.yu[..nu]);
-        y[nu..].copy_from_slice(&ws.yp[..np]);
-        if constrained {
-            // Identity on velocity BC rows.
-            for (i, &m) in self.vel_bc.iter().enumerate() {
-                if m {
-                    y[i] = x[i];
-                }
-            }
         }
     }
 
@@ -706,6 +761,40 @@ mod tests {
             max <= 4 * iters[0].max(10),
             "iterations blow up with viscosity contrast: {iters:?}"
         );
+    }
+
+    #[test]
+    fn overlapped_solve_bitwise_matches_blocking() {
+        // Full MINRES solves over the split-phase and blocking exchange
+        // paths must agree bit for bit — same mesh, same RHS, only the
+        // exchange completion point differs.
+        let run = |overlap: bool| -> Vec<Vec<u64>> {
+            spmd::run(2, move |c| {
+                let mut t = DistOctree::new_uniform(c, 2);
+                t.refine(|o| o.center_unit()[2] > 0.6);
+                t.balance(BalanceKind::Full);
+                t.partition();
+                let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+                let n = m.n_owned;
+                let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+                let visc: Vec<f64> = m
+                    .elements
+                    .iter()
+                    .map(|o| if o.center_unit()[2] > 0.5 { 100.0 } else { 1.0 })
+                    .collect();
+                let opts = StokesOptions {
+                    overlap_exchange: overlap,
+                    ..StokesOptions::default()
+                };
+                let mut solver = StokesSolver::new(&m, c, visc, bc, opts);
+                let (rhs, mut x) =
+                    solver.build_rhs(|p| [0.0, 0.0, (5.0 * p[0]).sin()], |_| [0.0; 3]);
+                let info = solver.solve(&rhs, &mut x);
+                assert!(info.converged, "{info:?}");
+                x.iter().map(|v| v.to_bits()).collect()
+            })
+        };
+        assert_eq!(run(true), run(false), "solve paths diverge");
     }
 
     #[test]

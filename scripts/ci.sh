@@ -33,6 +33,12 @@ timeout 120 cargo test -q -p scomm fault_injection
 echo "==> amr-fuzz-smoke"
 timeout 120 cargo test -q -p check --test fuzz_amr
 
+# Overlap differential (~1 min debug): the split-phase exchange path —
+# DistOp apply, AMG V-cycle, full MINRES solve — must stay bitwise
+# identical to the blocking oracle at P in {1,2,4,8}.
+echo "==> overlap differential"
+timeout 300 cargo test -q -p check --test overlap_diff
+
 # Bench smoke: drives the matvec-pipeline benchmark harness end to end
 # (tensor kernels, packed exchange, fused MINRES counters) with reduced
 # sample counts. Catches harness bitrot and the zero-allocation /

@@ -1,0 +1,241 @@
+//! Virtual-rank scheduler benchmarks (PR 6).
+//!
+//! Two experiments, written to `BENCH_pr6.json`:
+//!
+//! * **A/B at P = 8**: the same mixed communication workload (p2p ring,
+//!   allreduce, allgather, alltoallv) on thread-mode `spmd::run` versus
+//!   `spmd::run_virtual` on a 4-worker pool. Results must be bitwise
+//!   identical; the wall-time ratio is the scheduler's multiplexing
+//!   overhead at a P the thread mode can still reach.
+//! * **High-P sweep** at P ∈ {256, 1024, 4096} virtual ranks on 16
+//!   workers — world sizes far beyond the OS-thread ceiling the previous
+//!   harnesses ran at. Each collective (barrier, 8-B allreduce,
+//!   allgather, ring hop) is *measured* wall-clock per whole-world round,
+//!   compared against the Ranger [`MachineModel`] α–β predictions, and
+//!   fitted with a least-squares line t = a + b·P. The simulator stages
+//!   collectives through central per-world state, so the measured rounds
+//!   grow at least linearly in P (superlinearly for the Θ(P)-payload
+//!   allgather/allreduce) — the log₂(P) α–β shape is a property of the
+//!   modeled fat-tree, not of the simulation substrate; the committed
+//!   fit documents that envelope (see EXPERIMENTS.md).
+//!
+//! Usage: `pr6_vrank [--smoke] [--out PATH]`. `--smoke` shrinks the
+//! sweep to P ∈ {32, 64} on 4 workers for the CI debug pass; the
+//! committed JSON comes from a full `--release` run (`scripts/bench.sh`).
+
+use obs::json::Value;
+use rhea_bench::{banner, linear_fit, measure_collectives, CollectiveTiming, Table};
+use scomm::{spmd, Comm, MachineModel};
+use std::time::Instant;
+
+/// Mixed communication workload for the A/B: `rounds` iterations of a
+/// p2p ring hop + allreduce + allgather, with an alltoallv every fourth
+/// round. Returns a per-rank digest that must be bitwise identical
+/// across execution modes.
+fn mixed_workload(c: &Comm, rounds: usize) -> Vec<u64> {
+    let me = c.rank() as u64;
+    let p = c.size();
+    let next = (c.rank() + 1) % p;
+    let prev = (c.rank() + p - 1) % p;
+    let mut digest = Vec::new();
+    let mut token = vec![me];
+    for round in 0..rounds as u64 {
+        let req = c.irecv::<u64>(prev, round);
+        c.isend(next, round, &token).wait();
+        token = c.wait(req);
+        digest.push(token[0]);
+        let s = c.allreduce_sum(&[(me + round) as f64])[0];
+        digest.push(s.to_bits());
+        digest.push(c.allgather_u64(me ^ round)[p - 1]);
+        if round % 4 == 0 {
+            let counts = vec![1usize; p];
+            let send: Vec<u64> = (0..p as u64).map(|d| me * 1000 + d + round).collect();
+            let (mut recv, mut rc) = (Vec::new(), Vec::new());
+            c.alltoallv_flat(&send, &counts, &mut recv, &mut rc);
+            digest.push(recv.iter().sum());
+        }
+    }
+    digest
+}
+
+/// Median wall time of `samples` launches of `run`.
+fn median_launch_ns(samples: usize, mut run: impl FnMut()) -> f64 {
+    let mut t = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        run();
+        t.push(t0.elapsed().as_nanos() as f64);
+    }
+    t.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    t[t.len() / 2]
+}
+
+/// Thread vs virtual A/B at a P both modes can reach.
+fn bench_ab(samples: usize, rounds: usize) -> Value {
+    let (p, workers) = (8usize, 4usize);
+    let thread_ref = spmd::run(p, move |c| mixed_workload(c, rounds));
+    let virt_ref = spmd::run_virtual(p, workers, move |c| mixed_workload(c, rounds));
+    assert_eq!(
+        virt_ref, thread_ref,
+        "virtual mode must be bitwise identical to thread mode"
+    );
+    let thread_ns = median_launch_ns(samples, || {
+        let _ = spmd::run(p, move |c| mixed_workload(c, rounds));
+    });
+    let virtual_ns = median_launch_ns(samples, || {
+        let _ = spmd::run_virtual(p, workers, move |c| mixed_workload(c, rounds));
+    });
+    let overhead = virtual_ns / thread_ns;
+    println!(
+        "A/B P={p} ({rounds} rounds): thread {:.2} ms, virtual(W={workers}) {:.2} ms, \
+         overhead {overhead:.2}x, results bitwise identical",
+        thread_ns / 1e6,
+        virtual_ns / 1e6
+    );
+    Value::object([
+        ("ranks", Value::from(p as u64)),
+        ("workers", Value::from(workers as u64)),
+        ("rounds", Value::from(rounds as u64)),
+        ("thread_ns", Value::from(thread_ns)),
+        ("virtual_ns", Value::from(virtual_ns)),
+        ("overhead", Value::from(overhead)),
+        ("bitwise_identical", Value::from(true)),
+    ])
+}
+
+fn sweep_row(t: &CollectiveTiming, machine: &MachineModel) -> Value {
+    let model_barrier = machine.t_barrier(t.p) * 1e9;
+    let model_allreduce = machine.t_allreduce(8.0, t.p) * 1e9;
+    let model_allgather = machine.t_allgather(8.0, t.p) * 1e9;
+    // Effective per-round latency the measurement implies if forced into
+    // the dissemination-barrier shape t = log2(P)·α.
+    let implied_alpha = t.barrier_ns / (t.p as f64).log2().ceil();
+    Value::object([
+        ("ranks", Value::from(t.p as u64)),
+        ("workers", Value::from(t.workers as u64)),
+        ("reps", Value::from(t.reps as u64)),
+        ("barrier_ns", Value::from(t.barrier_ns)),
+        ("allreduce_ns", Value::from(t.allreduce_ns)),
+        ("allgather_ns", Value::from(t.allgather_ns)),
+        ("ring_hop_ns", Value::from(t.ring_hop_ns)),
+        ("model_barrier_ns", Value::from(model_barrier)),
+        ("model_allreduce_ns", Value::from(model_allreduce)),
+        ("model_allgather_ns", Value::from(model_allgather)),
+        ("implied_alpha_ns", Value::from(implied_alpha)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+
+    banner(
+        "PR 6",
+        "Virtual ranks: scheduler overhead A/B + measured collectives at high P",
+    );
+    let ab = bench_ab(if smoke { 3 } else { 11 }, if smoke { 4 } else { 64 });
+
+    let sweep_cfg: &[(usize, usize)] = if smoke {
+        &[(32, 4), (64, 4)]
+    } else {
+        &[(256, 16), (1024, 16), (4096, 16)]
+    };
+    let machine = MachineModel::ranger();
+    println!();
+    let mut table = Table::new(&[
+        "P",
+        "workers",
+        "barrier µs",
+        "allreduce µs",
+        "allgather µs",
+        "ring hop µs",
+        "model barrier µs",
+        "α̂ µs",
+    ]);
+    let mut timings = Vec::new();
+    for &(p, workers) in sweep_cfg {
+        let reps = match (smoke, p) {
+            (true, _) => 2,
+            (false, p) if p >= 4096 => 5,
+            (false, p) if p >= 1024 => 8,
+            _ => 16,
+        };
+        let t = measure_collectives(p, workers, reps);
+        table.row(&[
+            p.to_string(),
+            workers.to_string(),
+            format!("{:.1}", t.barrier_ns / 1e3),
+            format!("{:.1}", t.allreduce_ns / 1e3),
+            format!("{:.1}", t.allgather_ns / 1e3),
+            format!("{:.1}", t.ring_hop_ns / 1e3),
+            format!("{:.3}", machine.t_barrier(p) * 1e6),
+            format!("{:.1}", t.barrier_ns / (p as f64).log2().ceil() / 1e3),
+        ]);
+        timings.push(t);
+    }
+    table.print();
+
+    // Least-squares t = a + b·P over the measured rounds: the simulator's
+    // central staging makes the P-proportional term dominate (the log₂(P)
+    // model term never can), so the committed fit is the honest "measured
+    // collective tree" for this substrate.
+    let fit_of = |f: fn(&CollectiveTiming) -> f64| -> (f64, f64) {
+        let pts: Vec<(f64, f64)> = timings.iter().map(|t| (t.p as f64, f(t))).collect();
+        linear_fit(&pts)
+    };
+    let (bar_a, bar_b) = fit_of(|t| t.barrier_ns);
+    let (ar_a, ar_b) = fit_of(|t| t.allreduce_ns);
+    let (ag_a, ag_b) = fit_of(|t| t.allgather_ns);
+    println!();
+    println!("linear fits t(P) = a + b·P over the measured rounds (ns):");
+    println!("  barrier    a = {bar_a:.0}, b = {bar_b:.1} ns/rank");
+    println!("  allreduce  a = {ar_a:.0}, b = {ar_b:.1} ns/rank");
+    println!("  allgather  a = {ag_a:.0}, b = {ag_b:.1} ns/rank");
+
+    let fit = |a: f64, b: f64| {
+        Value::object([("a_ns", Value::from(a)), ("b_ns_per_rank", Value::from(b))])
+    };
+    let doc = Value::object([
+        ("schema", Value::from("bench.pr6.v1")),
+        ("mode", Value::from(if smoke { "smoke" } else { "full" })),
+        ("ab", ab),
+        (
+            "sweep",
+            Value::array(timings.iter().map(|t| sweep_row(t, &machine))),
+        ),
+        (
+            "fit",
+            Value::object([
+                ("barrier", fit(bar_a, bar_b)),
+                ("allreduce", fit(ar_a, ar_b)),
+                ("allgather", fit(ag_a, ag_b)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json() + "\n").expect("write BENCH_pr6.json");
+    println!("\nwrote {out_path}");
+
+    if !smoke {
+        // Gates: a high-P world must cost more per round than a low-P one
+        // (the scheduler actually multiplexes 4096 ranks through every
+        // round), and the per-rank slope of the fit must be positive.
+        for w in timings.windows(2) {
+            assert!(
+                w[1].barrier_ns > w[0].barrier_ns,
+                "barrier rounds must grow with P: {:?}",
+                timings.iter().map(|t| t.barrier_ns).collect::<Vec<_>>()
+            );
+            assert!(
+                w[1].allgather_ns > w[0].allgather_ns,
+                "allgather rounds must grow with P"
+            );
+        }
+        assert!(bar_b > 0.0 && ag_b > 0.0, "fit slopes must be positive");
+    }
+}

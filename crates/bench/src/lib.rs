@@ -61,6 +61,100 @@ pub fn weak_scale_stats(stats: &CommStats) -> CommStats {
     stats.clone()
 }
 
+/// One measured collective-timing row: whole-world wall clock per
+/// operation for `p` *virtual* ranks multiplexed over a `workers`-slot
+/// pool ([`scomm::spmd::run_virtual`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CollectiveTiming {
+    pub p: usize,
+    pub workers: usize,
+    pub reps: usize,
+    /// ns per barrier round (all `p` ranks enter and leave).
+    pub barrier_ns: f64,
+    /// ns per 8-byte `allreduce_sum` round.
+    pub allreduce_ns: f64,
+    /// ns per `allgather_u64` round (8 bytes contributed per rank).
+    pub allgather_ns: f64,
+    /// ns per ring hop: every rank posts an irecv, isends 8 bytes to its
+    /// successor and waits — one world-wide nearest-neighbor round.
+    pub ring_hop_ns: f64,
+}
+
+/// Measure the core collectives at `p` virtual ranks. Each figure is the
+/// wall time a complete `p`-rank round takes on this host, timed between
+/// collective fences so every rank participates in every timed round;
+/// thread-spawn cost is excluded by a warm-up barrier. These are the
+/// *measured* points the PR 6 harness fits against the [`MachineModel`]
+/// α–β collective terms (see `pr6_vrank` and EXPERIMENTS.md).
+pub fn measure_collectives(p: usize, workers: usize, reps: usize) -> CollectiveTiming {
+    use std::time::Instant;
+    assert!(reps > 0);
+    // Microbenchmark bodies are shallow; small stacks keep the virtual
+    // address reservation modest at P = 4096.
+    let cfg = scomm::spmd::VirtualCfg {
+        workers,
+        stack_bytes: 256 << 10,
+        ..Default::default()
+    };
+    let (out, _) = scomm::spmd::run_virtual_cfg(p, cfg, move |c| {
+        let me = c.rank() as u64;
+        c.barrier(); // every rank registered and scheduled once
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            c.barrier();
+        }
+        let barrier = t0.elapsed().as_nanos() as f64 / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = c.allreduce_sum(&[me as f64]);
+        }
+        let allreduce = t0.elapsed().as_nanos() as f64 / reps as f64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = c.allgather_u64(me);
+        }
+        let allgather = t0.elapsed().as_nanos() as f64 / reps as f64;
+        let next = (c.rank() + 1) % c.size();
+        let prev = (c.rank() + c.size() - 1) % c.size();
+        c.barrier();
+        let t0 = Instant::now();
+        let mut token = vec![me];
+        for hop in 0..reps as u64 {
+            let req = c.irecv::<u64>(prev, hop);
+            c.isend(next, hop, &token).wait();
+            token = c.wait(req);
+        }
+        c.barrier();
+        let ring = t0.elapsed().as_nanos() as f64 / reps as f64;
+        (barrier, allreduce, allgather, ring)
+    });
+    let (barrier_ns, allreduce_ns, allgather_ns, ring_hop_ns) = out[0];
+    CollectiveTiming {
+        p,
+        workers,
+        reps,
+        barrier_ns,
+        allreduce_ns,
+        allgather_ns,
+        ring_hop_ns,
+    }
+}
+
+/// Least-squares line `t = a + b·x` through the measured points;
+/// returns `(a, b)`. Used to fit measured collective rounds against
+/// world size P.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    assert!(n >= 2.0, "need at least two points to fit a line");
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
 /// A simple aligned table printer.
 pub struct Table {
     headers: Vec<String>,
@@ -173,6 +267,27 @@ mod tests {
         assert_eq!(human(67_200), "67.2K");
         assert_eq!(human(2_060_000), "2.06M");
         assert_eq!(human(1_070_000_000), "1.07B");
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = [256.0, 1024.0, 4096.0]
+            .iter()
+            .map(|&p| (p, 1500.0 + 3.25 * p))
+            .collect();
+        let (a, b) = linear_fit(&pts);
+        assert!((a - 1500.0).abs() < 1e-6, "a = {a}");
+        assert!((b - 3.25).abs() < 1e-9, "b = {b}");
+    }
+
+    #[test]
+    fn measured_collectives_are_positive_and_returned_per_op() {
+        let t = measure_collectives(8, 3, 2);
+        assert_eq!((t.p, t.workers, t.reps), (8, 3, 2));
+        assert!(t.barrier_ns > 0.0);
+        assert!(t.allreduce_ns > 0.0);
+        assert!(t.allgather_ns > 0.0);
+        assert!(t.ring_hop_ns > 0.0);
     }
 
     #[test]

@@ -233,6 +233,14 @@ pub fn fuzz_amr(p: usize, cfg: &FuzzConfig) {
     spmd::run(p, move |c| run_cycles(c, &cfg));
 }
 
+/// [`fuzz_amr`] on *virtual* ranks: `p` ranks multiplexed over a
+/// `workers`-slot pool (see `scomm::spmd::run_virtual`). The high-P smoke
+/// tier — the full property set at P ∈ {64, 256} — runs through here.
+pub fn fuzz_amr_virtual(p: usize, workers: usize, cfg: &FuzzConfig) {
+    let cfg = *cfg;
+    spmd::run_virtual(p, workers, move |c| run_cycles(c, &cfg));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,10 +3,13 @@
 //! `smoke_*` run on fixed seeds in a few seconds (the CI `amr-fuzz-smoke`
 //! job). The `#[ignore]`d `full_200_cycles` test is the acceptance run:
 //! 200 seeded cycles spread over P ∈ {1, 2, 4, 8} (4 ranks × 5 seeds ×
-//! 10 cycles). Replay a failure by plugging the `(seed, cycle, p)` from
-//! the panic message into a one-off `FuzzConfig`.
+//! 10 cycles). The `#[ignore]`d `vrank_smoke_*` tests are the high-P
+//! tier (CI `vrank-fuzz-smoke` job, release, time-boxed): 25 cycles at
+//! P ∈ {64, 256} *virtual* ranks on a ≤16-worker pool. Replay a failure
+//! by plugging the `(seed, cycle, p)` from the panic message into a
+//! one-off `FuzzConfig`.
 
-use check::fuzz_amr::{fuzz_amr, FuzzConfig};
+use check::fuzz_amr::{fuzz_amr, fuzz_amr_virtual, FuzzConfig};
 
 #[test]
 fn smoke_fixed_seeds_small_ranks() {
@@ -34,6 +37,60 @@ fn smoke_four_ranks_deeper() {
             seed: 3,
             cycles: 3,
             level: 2,
+            max_level: 4,
+            ..Default::default()
+        },
+    );
+}
+
+#[test]
+fn smoke_virtual_sixteen_ranks() {
+    // Always-on virtual smoke: the whole property set (six invariant
+    // checkers, balance oracle, conservation) at a P beyond what the
+    // thread-mode smokes cover, on a 4-worker pool.
+    fuzz_amr_virtual(
+        16,
+        4,
+        &FuzzConfig {
+            seed: 5,
+            cycles: 2,
+            level: 2,
+            max_level: 3,
+            ..Default::default()
+        },
+    );
+}
+
+/// High-P smoke tier, part 1: 25 cycles at P = 64 virtual ranks.
+#[test]
+#[ignore = "high-P smoke (CI vrank-fuzz-smoke job, release)"]
+fn vrank_smoke_p64() {
+    fuzz_amr_virtual(
+        64,
+        8,
+        &FuzzConfig {
+            seed: 11,
+            cycles: 25,
+            level: 3,
+            max_level: 4,
+            ..Default::default()
+        },
+    );
+}
+
+/// High-P smoke tier, part 2: 25 cycles at P = 256 virtual ranks on a
+/// 16-worker pool — the acceptance bar "all six invariant checkers +
+/// fuzz_amr pass at P = 256 on a ≤16-worker pool".
+#[test]
+#[ignore = "high-P smoke (CI vrank-fuzz-smoke job, release)"]
+fn vrank_smoke_p256() {
+    fuzz_amr_virtual(
+        256,
+        16,
+        &FuzzConfig {
+            seed: 12,
+            cycles: 25,
+            level: 3,
             max_level: 4,
             ..Default::default()
         },

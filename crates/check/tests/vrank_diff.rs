@@ -1,0 +1,120 @@
+//! Differential suite for virtual-rank execution (PR 6): running the
+//! same program on `spmd::run_virtual` must be **bitwise identical** to
+//! thread mode at every rank count — the scheduler may only change *when*
+//! ranks run, never *what* they compute. Pins the AMR pipeline state
+//! (leaf and node-key sets), the overlapped `fem::DistOp` application and
+//! the full Stokes MINRES solve at P ∈ {1, 4, 8}.
+
+use fem::element::stiffness_matrix;
+use fem::op::{DistOp, DofMap};
+use mesh::extract::extract_mesh;
+use octree::balance::BalanceKind;
+use octree::parallel::DistOctree;
+use scomm::spmd;
+use stokes::solver::{StokesOptions, StokesSolver};
+
+const RANK_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Workers deliberately smaller than the largest P so multiplexing (not
+/// just 1:1 slot assignment) is exercised.
+const WORKERS: usize = 3;
+
+/// Adapted fixture tree shared by every test: uniform level 2, refined
+/// above z = 0.6, fully balanced and repartitioned — hanging constraints
+/// and an uneven interior/surface split on every rank.
+fn fixture(c: &scomm::Comm) -> DistOctree<'_> {
+    let mut t = DistOctree::new_uniform(c, 2);
+    t.refine(|o| o.center_unit()[2] > 0.6);
+    t.balance(BalanceKind::Full);
+    t.partition();
+    t
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|f| f.to_bits()).collect()
+}
+
+#[test]
+fn amr_leaf_and_node_key_sets_match_thread_mode() {
+    for p in RANK_COUNTS {
+        let body = |c: &scomm::Comm| {
+            let t = fixture(c);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let leaves: Vec<u64> = t.local.iter().map(|o| o.key()).collect();
+            let ghosts: Vec<(usize, u64)> = t
+                .ghost_layer()
+                .iter()
+                .map(|(owner, o)| (*owner, o.key()))
+                .collect();
+            (leaves, ghosts, m.node_keys.clone(), m.global_offset)
+        };
+        let thread = spmd::run(p, body);
+        let virt = spmd::run_virtual(p, WORKERS, body);
+        assert_eq!(virt, thread, "AMR state diverges at P={p}");
+    }
+}
+
+#[test]
+fn dist_op_apply_matches_thread_mode_bitwise() {
+    for p in RANK_COUNTS {
+        let body = |c: &scomm::Comm| {
+            let t = fixture(c);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let map = DofMap::new(&m, c, 1);
+            let mesh_ref = &m;
+            let bc: Vec<bool> = (0..m.n_owned).map(|d| m.dof_on_boundary(d)).collect();
+            let op = DistOp::new(
+                &map,
+                Box::new(move |e, out: &mut [f64]| {
+                    let k = stiffness_matrix(mesh_ref.element_size(e), 1.0);
+                    for i in 0..8 {
+                        for j in 0..8 {
+                            out[i * 8 + j] = k[i][j];
+                        }
+                    }
+                }),
+                Some(&bc),
+            );
+            let x: Vec<f64> = (0..m.n_owned)
+                .map(|d| {
+                    let g = m.global_offset + d as u64;
+                    ((g.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % 9973) as f64 / 9973.0 - 0.5
+                })
+                .collect();
+            let mut y = vec![0.0; m.n_owned];
+            op.apply_owned(&x, &mut y);
+            bits(&y)
+        };
+        let thread = spmd::run(p, body);
+        let virt = spmd::run_virtual(p, WORKERS, body);
+        assert_eq!(virt, thread, "DistOp apply diverges at P={p}");
+    }
+}
+
+#[test]
+fn minres_solve_matches_thread_mode_bitwise() {
+    for p in RANK_COUNTS {
+        let body = |c: &scomm::Comm| {
+            let t = fixture(c);
+            let m = extract_mesh(&t, [1.0, 1.0, 1.0]);
+            let n = m.n_owned;
+            let bc: Vec<bool> = (0..3 * n).map(|i| m.dof_on_boundary(i / 3)).collect();
+            let visc: Vec<f64> = m
+                .elements
+                .iter()
+                .map(|o| if o.center_unit()[2] > 0.5 { 50.0 } else { 1.0 })
+                .collect();
+            let mut solver = StokesSolver::new(&m, c, visc, bc, StokesOptions::default());
+            let (rhs, mut x) = solver.build_rhs(|q| [0.0, 0.0, (4.0 * q[0]).sin()], |_| [0.0; 3]);
+            let info = solver.solve(&rhs, &mut x);
+            assert!(info.converged, "P={}: {info:?}", c.size());
+            (bits(&x), info.iterations)
+        };
+        let thread = spmd::run(p, body);
+        let virt = spmd::run_virtual(p, WORKERS, body);
+        for (r, (v, t)) in virt.iter().zip(&thread).enumerate() {
+            assert_eq!(v.1, t.1, "iteration counts diverge on rank {r} at P={p}");
+            assert_eq!(v.0, t.0, "solutions diverge on rank {r} at P={p}");
+        }
+    }
+}

@@ -56,6 +56,11 @@ struct Inner {
     /// Purely virtual clock (tests): `now` is `skew_ns` alone, real time
     /// never advances it.
     manual_clock: bool,
+    /// When false, per-event detail (spans, instants) is not stored —
+    /// only the mergeable [`Summary`] accumulates, at O(1) memory per
+    /// phase. This is what lets a P = 4096 virtual run trace every rank
+    /// without holding 4096 Chrome-trace tracks in memory.
+    trace_detail: bool,
     /// Virtual time offset (see [`Recorder::advance_clock`]).
     skew_ns: u64,
     spans: Vec<SpanEvent>,
@@ -104,17 +109,27 @@ pub struct RankProfile {
 
 impl Recorder {
     pub fn new(rank: usize) -> Recorder {
-        Self::build(rank, false)
+        Self::build(rank, false, true)
     }
 
     /// A recorder on a purely virtual clock driven by
     /// [`Recorder::advance_clock`] — time attribution becomes exactly
     /// deterministic. Intended for tests.
     pub fn new_manual_clock(rank: usize) -> Recorder {
-        Self::build(rank, true)
+        Self::build(rank, true, true)
     }
 
-    fn build(rank: usize, manual_clock: bool) -> Recorder {
+    /// A recorder that keeps only the mergeable [`Summary`] (phase
+    /// timings, counters, histograms — all exact) and discards per-event
+    /// detail: no span list, no instants, so memory stays O(phases)
+    /// instead of O(events). Large-P virtual runs attach these to the
+    /// ranks beyond the Chrome-trace track cap; summaries from all ranks
+    /// still merge exactly via [`crate::Reduce`].
+    pub fn new_summary_only(rank: usize) -> Recorder {
+        Self::build(rank, false, false)
+    }
+
+    fn build(rank: usize, manual_clock: bool, trace_detail: bool) -> Recorder {
         // Touch the epoch so timestamps start near zero for the first
         // recorder created in the process.
         let _ = epoch_ns();
@@ -122,6 +137,7 @@ impl Recorder {
             inner: Rc::new(RefCell::new(Inner {
                 rank,
                 manual_clock,
+                trace_detail,
                 skew_ns: 0,
                 spans: Vec::new(),
                 instants: Vec::new(),
@@ -215,7 +231,9 @@ impl Recorder {
         stats.count += 1;
         stats.incl_ns += dur_ns;
         stats.excl_ns += self_ns;
-        if inner.spans.len() < MAX_TRACE_SPANS {
+        if !inner.trace_detail {
+            // Summary-only mode: detail intentionally elided, not "dropped".
+        } else if inner.spans.len() < MAX_TRACE_SPANS {
             inner.spans.push(SpanEvent {
                 name: open.name,
                 cat: open.cat.to_string(),
@@ -259,7 +277,9 @@ impl Recorder {
         stats.count += 1;
         stats.incl_ns += dur_ns;
         stats.excl_ns += dur_ns;
-        if inner.spans.len() < MAX_TRACE_SPANS {
+        if !inner.trace_detail {
+            // Summary-only mode: detail intentionally elided, not "dropped".
+        } else if inner.spans.len() < MAX_TRACE_SPANS {
             inner.spans.push(SpanEvent {
                 name,
                 cat: cat.to_string(),
@@ -317,11 +337,13 @@ impl Recorder {
     pub fn instant(&self, name: impl Into<String>, args: Value) {
         let ts_ns = self.now_ns();
         let mut inner = self.inner.borrow_mut();
-        inner.instants.push(InstantEvent {
-            name: name.into(),
-            ts_ns,
-            args,
-        });
+        if inner.trace_detail {
+            inner.instants.push(InstantEvent {
+                name: name.into(),
+                ts_ns,
+                args,
+            });
+        }
     }
 
     /// Snapshot the mergeable aggregate recorded so far.
@@ -470,6 +492,27 @@ mod tests {
         let p = rec.profile();
         assert!(!p.summary.phases.contains_key("open-forever"));
         assert_eq!(p.summary.counter("obs.unclosed_spans"), 1);
+    }
+
+    #[test]
+    fn summary_only_mode_keeps_summary_exact_without_events() {
+        let rec = Recorder::new_summary_only(7);
+        rec.with("compute", || ());
+        rec.add_count("iters", 3);
+        rec.record_value("bytes", 64);
+        rec.instant("adapt", Value::object([("e", Value::from(1u64))]));
+        let p = rec.profile();
+        assert_eq!(p.rank, 7);
+        assert_eq!(p.summary.phases["compute"].count, 1);
+        assert_eq!(p.summary.counter("iters"), 3);
+        assert_eq!(p.summary.hists["bytes"].count, 1);
+        assert!(p.spans.is_empty(), "summary-only keeps no span events");
+        assert!(p.instants.is_empty(), "summary-only keeps no instants");
+        assert_eq!(
+            p.summary.counter("obs.dropped_spans"),
+            0,
+            "elided detail is intentional, not dropped"
+        );
     }
 
     #[test]

@@ -9,12 +9,32 @@
 //! A collective is: *write my slot → barrier → read everyone's slots →
 //! barrier*. The trailing barrier makes slot reuse by the next collective
 //! safe.
+//!
+//! ## Execution modes
+//!
+//! A world runs in one of two modes, chosen at construction and invisible
+//! to the program running on it:
+//!
+//! * **Thread mode** ([`crate::spmd::run`]): one OS thread per rank, all
+//!   runnable; blocking waits sit in `mpsc::recv` / `Barrier::wait`.
+//! * **Virtual mode** ([`crate::spmd::run_virtual`]): ranks are virtual,
+//!   multiplexed over a fixed worker pool by a [`vrank::Scheduler`].
+//!   Every blocking point routes through the scheduler instead of the OS:
+//!   a rank that would block *parks* (releasing its worker slot to a
+//!   runnable rank) and is woken when mail arrives or the collective
+//!   rendezvous completes. The yield surface is exactly the helpers
+//!   below: [`Comm`] `recv_wire` (message wait), `rendezvous` (collective
+//!   barrier), `post` (send-side wakeup), plus a cooperative yield in
+//!   [`Comm::test`] and in the fault stagger so poll loops make progress
+//!   on a single-worker pool.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Barrier, Mutex};
+
+use vrank::Scheduler;
 
 use obs::Recorder;
 
@@ -42,17 +62,36 @@ pub(crate) struct World {
     barrier: Barrier,
     /// One staging slot per rank for gather-style collectives.
     slots: Vec<Mutex<Vec<u8>>>,
-    /// `nranks * nranks` staging matrix for all-to-all collectives,
-    /// indexed `src * nranks + dst`.
-    matrix: Vec<Mutex<Vec<u8>>>,
+    /// Sparse all-to-all staging: `a2a[dst]` collects the `(src, payload)`
+    /// pairs addressed to `dst` for the round in flight; the receiver
+    /// drains its own row between the two rendezvous. Sparse by
+    /// construction (empty payloads are never staged), so the footprint
+    /// is O(messages actually sent) — the dense per-pair matrix this
+    /// replaces held `nranks²` mutexes, which at P = 4096 was 16.7M locks
+    /// of dead weight before the first byte moved.
+    a2a: Vec<Mutex<Vec<(usize, Vec<u8>)>>>,
     /// Sender endpoints into each rank's mailbox.
     senders: Vec<Sender<Message>>,
     /// Receiver endpoints, taken once by each rank at startup.
     receivers: Vec<Mutex<Option<Receiver<Message>>>>,
+    /// Virtual-mode scheduler; `None` in thread-per-rank mode.
+    vr: Option<Arc<Scheduler>>,
 }
 
 impl World {
     pub(crate) fn new(nranks: usize) -> Arc<World> {
+        World::build(nranks, None)
+    }
+
+    /// A world whose ranks are virtual, scheduled cooperatively by `vr`
+    /// (see [`crate::spmd::run_virtual`]). The scheduler must have been
+    /// created for the same `nranks`.
+    pub(crate) fn new_virtual(nranks: usize, vr: Arc<Scheduler>) -> Arc<World> {
+        assert_eq!(vr.nranks(), nranks, "scheduler sized for a different world");
+        World::build(nranks, Some(vr))
+    }
+
+    fn build(nranks: usize, vr: Option<Arc<Scheduler>>) -> Arc<World> {
         assert!(nranks >= 1, "a communicator needs at least one rank");
         let mut senders = Vec::with_capacity(nranks);
         let mut receivers = Vec::with_capacity(nranks);
@@ -65,11 +104,10 @@ impl World {
             nranks,
             barrier: Barrier::new(nranks),
             slots: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
-            matrix: (0..nranks * nranks)
-                .map(|_| Mutex::new(Vec::new()))
-                .collect(),
+            a2a: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
             senders,
             receivers,
+            vr,
         })
     }
 
@@ -179,6 +217,79 @@ impl Comm {
         self.fault.borrow().as_ref().map(|f| f.counters)
     }
 
+    // ----------------------------------------------------------------
+    // Blocking points (the virtual-mode yield surface)
+    // ----------------------------------------------------------------
+
+    /// Block until the next message arrives on this rank's mailbox. In
+    /// thread mode this is a plain channel `recv`; in virtual mode the
+    /// rank parks in the scheduler (releasing its worker slot) until a
+    /// sender's [`Comm::post`] notifies its mailbox. The mail-epoch
+    /// handshake closes the race where a message lands between the
+    /// `try_recv` probe and the park: the epoch is read first, the sender
+    /// bumps it after enqueuing, and a park with a stale epoch returns
+    /// immediately.
+    fn recv_wire(&self) -> Message {
+        let Some(vs) = &self.world.vr else {
+            return self
+                .inbox
+                .recv()
+                .expect("all senders hung up while waiting for a message");
+        };
+        loop {
+            let seen = vs.mail_epoch(self.rank);
+            match self.inbox.try_recv() {
+                Ok(m) => return m,
+                Err(TryRecvError::Empty) => vs.park_mail(self.rank, seen),
+                Err(TryRecvError::Disconnected) => {
+                    panic!("all senders hung up while waiting for a message")
+                }
+            }
+        }
+    }
+
+    /// Enqueue a message into `dst`'s mailbox and, in virtual mode, wake
+    /// `dst` if it is parked waiting for mail. Every send-side path (p2p,
+    /// split-phase exchange) must go through here — a raw channel send
+    /// would leave a parked receiver sleeping forever.
+    fn post(&self, dst: usize, tag: u64, bytes: Vec<u8>) {
+        self.world.senders[dst]
+            .send(Message {
+                src: self.rank,
+                tag,
+                bytes,
+            })
+            .expect("receiver hung up: peer rank terminated early");
+        if let Some(vs) = &self.world.vr {
+            vs.notify_mail(dst);
+        }
+    }
+
+    /// Collective rendezvous: all ranks enter, none leaves before the
+    /// last. Thread mode uses the shared [`std::sync::Barrier`]; virtual
+    /// mode uses the scheduler-aware barrier, in which the first
+    /// `nranks - 1` arrivals park (handing their worker slots to ranks
+    /// that still have work) and the last arrival releases everyone.
+    fn rendezvous(&self) {
+        match &self.world.vr {
+            None => {
+                self.world.barrier.wait();
+            }
+            Some(vs) => vs.barrier(self.rank),
+        }
+    }
+
+    /// Cooperative yield inside poll loops: in virtual mode, offer the
+    /// worker slot to a runnable rank (without this, a `test` poll loop
+    /// on a single-worker pool would spin forever while the sender never
+    /// runs); in thread mode, a plain OS yield.
+    fn poll_yield(&self) {
+        match &self.world.vr {
+            None => std::thread::yield_now(),
+            Some(vs) => vs.yield_now(self.rank),
+        }
+    }
+
     /// Pull the next message off the wire, through the fault scheduler when
     /// one is attached. Deadlock-free: the virtual clock only advances when
     /// the real inbox is empty, so every held message is eventually
@@ -187,10 +298,7 @@ impl Comm {
         let mut fault = self.fault.borrow_mut();
         let Some(fs) = fault.as_mut() else {
             drop(fault);
-            return self
-                .inbox
-                .recv()
-                .expect("all senders hung up while waiting for a message");
+            return self.recv_wire();
         };
         loop {
             // Admit everything already arrived without blocking.
@@ -203,10 +311,7 @@ impl Comm {
             }
             if fs.is_drained() {
                 // Nothing buffered: block for the next real arrival.
-                let m = self
-                    .inbox
-                    .recv()
-                    .expect("all senders hung up while waiting for a message");
+                let m = self.recv_wire();
                 let (src, tag) = (m.src, m.tag);
                 fs.admit(src, tag, m);
             } else {
@@ -225,7 +330,7 @@ impl Comm {
             .as_mut()
             .map_or(0, |f| f.collective_stagger());
         for _ in 0..yields {
-            std::thread::yield_now();
+            self.poll_yield();
         }
     }
 
@@ -243,13 +348,7 @@ impl Comm {
             s.p2p_messages += 1;
             s.p2p_bytes += bytes.len() as u64;
         }
-        self.world.senders[dst]
-            .send(Message {
-                src: self.rank,
-                tag,
-                bytes,
-            })
-            .expect("receiver hung up: peer rank terminated early");
+        self.post(dst, tag, bytes);
     }
 
     /// Block until a message from `src` with `tag` is available and return
@@ -323,13 +422,7 @@ impl Comm {
             s.p2p_messages += 1;
             s.p2p_bytes += bytes.len() as u64;
         }
-        self.world.senders[dst]
-            .send(Message {
-                src: self.rank,
-                tag,
-                bytes,
-            })
-            .expect("receiver hung up: peer rank terminated early");
+        self.post(dst, tag, bytes);
         SendRequest { dst, tag }
     }
 
@@ -371,10 +464,56 @@ impl Comm {
         crate::pod::extend_from_bytes(out, &msg.bytes);
     }
 
-    /// Complete a batch of posted receives in order; returns one payload
-    /// per request.
+    /// Complete a batch of posted receives **strictly in iteration
+    /// order**; returns one payload per request, index-aligned with the
+    /// input.
+    ///
+    /// The FIFO guarantee: request `i+1` is not completed (and its fault
+    /// jitter not forced) before request `i` has its message in hand,
+    /// regardless of the order in which the messages actually arrive —
+    /// early arrivals for later requests are buffered in the pending
+    /// queue, never lost and never reordered within a `(source, tag)`
+    /// pair. Callers that want "whichever finishes first" ordering use
+    /// [`Comm::wait_any`] instead.
     pub fn waitall<T: Pod>(&self, reqs: impl IntoIterator<Item = RecvRequest<T>>) -> Vec<Vec<T>> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Complete *one* of the posted receives — whichever can finish first
+    /// — removing it from `reqs` and returning `(index, payload)`, where
+    /// `index` is the request's position in `reqs` at call time (the
+    /// remaining requests keep their relative order, MPI `Waitany`
+    /// style).
+    ///
+    /// Preference order when several are already completable: the
+    /// earliest message in arrival order wins, and among requests
+    /// matching the same `(source, tag)` the lowest index wins —
+    /// consistent with the per-`(source, tag)` FIFO of the transport.
+    /// Blocks (parking the rank in virtual mode) only while *none* of the
+    /// requests has a matching message.
+    pub fn wait_any<T: Pod>(&self, reqs: &mut Vec<RecvRequest<T>>) -> (usize, Vec<T>) {
+        assert!(!reqs.is_empty(), "wait_any needs at least one request");
+        let wait_entry = self.rec.borrow().as_ref().map(|r| r.now_ns());
+        loop {
+            let hit = {
+                let pending = self.pending.borrow();
+                // Earliest arrival that matches any request; ties on
+                // (src, tag) go to the lowest request index.
+                pending.iter().enumerate().find_map(|(pos, m)| {
+                    reqs.iter()
+                        .position(|r| r.src == m.src && r.tag == m.tag)
+                        .map(|ri| (pos, ri))
+                })
+            };
+            if let Some((pos, ri)) = hit {
+                let msg = self.pending.borrow_mut().remove(pos).unwrap();
+                let req = reqs.remove(ri);
+                self.finish_recv(&req, wait_entry, msg.bytes.len() as u64);
+                return (ri, from_bytes(&msg.bytes));
+            }
+            let msg = self.pull_message();
+            self.pending.borrow_mut().push_back(msg);
+        }
     }
 
     /// Non-blocking probe: has the message for `req` arrived? Drains
@@ -383,6 +522,11 @@ impl Comm {
     /// never advances the fault clock — a message the plan is still
     /// holding stays invisible until [`Comm::wait`] forces its release.
     pub fn test<T: Pod>(&self, req: &RecvRequest<T>) -> bool {
+        // In virtual mode a poll loop must hand the worker slot to ranks
+        // that still have work (e.g. the sender we are probing for).
+        if self.world.vr.is_some() {
+            self.poll_yield();
+        }
         {
             let mut fault = self.fault.borrow_mut();
             if let Some(fs) = fault.as_mut() {
@@ -480,13 +624,7 @@ impl Comm {
             let bytes = as_bytes(chunk).to_vec();
             sent_bytes += bytes.len() as u64;
             msgs += 1;
-            self.world.senders[dst]
-                .send(Message {
-                    src: self.rank,
-                    tag,
-                    bytes,
-                })
-                .expect("receiver hung up: peer rank terminated early");
+            self.post(dst, tag, bytes);
         }
         {
             let mut s = self.stats.borrow_mut();
@@ -570,7 +708,7 @@ impl Comm {
         let _t = self.op_span("comm:barrier");
         self.maybe_stagger();
         self.stats.borrow_mut().barriers += 1;
-        self.world.barrier.wait();
+        self.rendezvous();
     }
 
     /// Gather `data` (same length on every rank) from all ranks, in rank
@@ -590,7 +728,7 @@ impl Comm {
             slot.clear();
             slot.extend_from_slice(as_bytes(data));
         }
-        world.barrier.wait();
+        self.rendezvous();
         let mut out = Vec::new();
         let mut total_bytes = 0u64;
         for r in 0..world.nranks {
@@ -598,7 +736,7 @@ impl Comm {
             total_bytes += slot.len() as u64;
             out.extend(from_bytes::<T>(&slot));
         }
-        world.barrier.wait();
+        self.rendezvous();
         {
             let mut s = self.stats.borrow_mut();
             s.allgathers += 1;
@@ -621,7 +759,7 @@ impl Comm {
             slot.clear();
             slot.extend_from_slice(as_bytes(data));
         }
-        world.barrier.wait();
+        self.rendezvous();
         out.clear();
         let mut total_bytes = 0u64;
         for r in 0..world.nranks {
@@ -629,7 +767,7 @@ impl Comm {
             total_bytes += slot.len() as u64;
             crate::pod::extend_from_bytes(out, &slot);
         }
-        world.barrier.wait();
+        self.rendezvous();
         {
             let mut s = self.stats.borrow_mut();
             s.allgathers += 1;
@@ -718,12 +856,12 @@ impl Comm {
             slot.clear();
             slot.extend_from_slice(as_bytes(data));
         }
-        world.barrier.wait();
+        self.rendezvous();
         let out = {
             let slot = world.slots[root].lock().unwrap();
             from_bytes::<T>(&slot)
         };
-        world.barrier.wait();
+        self.rendezvous();
         {
             let mut s = self.stats.borrow_mut();
             s.bcasts += 1;
@@ -744,20 +882,27 @@ impl Comm {
         let world = &self.world;
         let mut sent_bytes = 0u64;
         for (dst, payload) in outgoing.iter().enumerate() {
-            let mut slot = world.matrix[self.rank * p + dst].lock().unwrap();
-            slot.clear();
-            slot.extend_from_slice(as_bytes(payload));
+            if payload.is_empty() {
+                continue; // receivers synthesize empties; keep staging sparse
+            }
+            let bytes = as_bytes(payload);
             if dst != self.rank {
-                sent_bytes += slot.len() as u64;
+                sent_bytes += bytes.len() as u64;
+            }
+            world.a2a[dst]
+                .lock()
+                .unwrap()
+                .push((self.rank, bytes.to_vec()));
+        }
+        self.rendezvous();
+        let mut incoming: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        {
+            let mut row = world.a2a[self.rank].lock().unwrap();
+            for (src, bytes) in row.drain(..) {
+                incoming[src] = from_bytes::<T>(&bytes);
             }
         }
-        world.barrier.wait();
-        let mut incoming = Vec::with_capacity(p);
-        for src in 0..p {
-            let slot = world.matrix[src * p + self.rank].lock().unwrap();
-            incoming.push(from_bytes::<T>(&slot));
-        }
-        world.barrier.wait();
+        self.rendezvous();
         {
             let mut s = self.stats.borrow_mut();
             s.alltoalls += 1;
@@ -800,27 +945,36 @@ impl Comm {
         let mut p2p_msgs = 0u64;
         let mut off = 0usize;
         for (dst, &cnt) in send_counts.iter().enumerate() {
-            let mut slot = world.matrix[self.rank * p + dst].lock().unwrap();
-            slot.clear();
-            slot.extend_from_slice(as_bytes(&send[off..off + cnt]));
+            let chunk = &send[off..off + cnt];
             off += cnt;
-            if dst != self.rank {
-                sent_bytes += slot.len() as u64;
-                if cnt != 0 {
-                    p2p_msgs += 1;
-                }
+            if cnt == 0 {
+                continue;
             }
+            let bytes = as_bytes(chunk);
+            if dst != self.rank {
+                sent_bytes += bytes.len() as u64;
+                p2p_msgs += 1;
+            }
+            world.a2a[dst]
+                .lock()
+                .unwrap()
+                .push((self.rank, bytes.to_vec()));
         }
-        world.barrier.wait();
+        self.rendezvous();
         recv.clear();
         recv_counts.clear();
+        recv_counts.resize(p, 0);
         let elem = std::mem::size_of::<T>().max(1);
-        for src in 0..p {
-            let slot = world.matrix[src * p + self.rank].lock().unwrap();
-            recv_counts.push(slot.len() / elem);
-            crate::pod::extend_from_bytes(recv, &slot);
+        {
+            let mut row = world.a2a[self.rank].lock().unwrap();
+            // One entry per source per round; restore source-rank order.
+            row.sort_unstable_by_key(|&(src, _)| src);
+            for (src, bytes) in row.drain(..) {
+                recv_counts[src] = bytes.len() / elem;
+                crate::pod::extend_from_bytes(recv, &bytes);
+            }
         }
-        world.barrier.wait();
+        self.rendezvous();
         {
             let mut s = self.stats.borrow_mut();
             s.alltoalls += 1;
@@ -1149,6 +1303,102 @@ mod tests {
             }
         });
         assert_eq!(out[1], 2010);
+    }
+
+    #[test]
+    fn waitall_fifo_order_under_fault_delays() {
+        // Satellite regression: requests posted out of send order, under
+        // seeded adversarial delays, from two senders at once. `waitall`
+        // must complete strictly in iteration order with the payloads
+        // index-aligned to the posted requests — the FIFO guarantee its
+        // docs promise — no matter when the messages actually arrive.
+        use crate::fault::FaultPlan;
+        let run_once = || {
+            spmd::run(3, |c| {
+                c.set_fault_plan(Some(FaultPlan::delays(0xD1CE)));
+                if c.rank() > 0 {
+                    // Senders emit tags in descending order; the receiver
+                    // posts ascending.
+                    for tag in [2u64, 1, 0] {
+                        c.send(0, tag, &[c.rank() as u64 * 100 + tag]);
+                    }
+                    c.set_fault_plan(None);
+                    return 0;
+                }
+                let reqs: Vec<_> = [0u64, 1, 2]
+                    .iter()
+                    .flat_map(|&tag| [c.irecv::<u64>(1, tag), c.irecv::<u64>(2, tag)])
+                    .collect();
+                let got = c.waitall(reqs);
+                let flat: Vec<u64> = got.iter().map(|v| v[0]).collect();
+                assert_eq!(
+                    flat,
+                    vec![100, 200, 101, 201, 102, 202],
+                    "waitall must complete in iteration order"
+                );
+                let delayed = c.fault_counters().unwrap().delayed;
+                c.set_fault_plan(None);
+                delayed
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same seed must reproduce the same fault schedule");
+        assert!(a[0] > 0, "the plan must actually delay some completions");
+    }
+
+    #[test]
+    fn wait_any_completes_whichever_is_ready() {
+        let out = spmd::run(2, |c| {
+            if c.rank() == 0 {
+                let _ = c.recv::<u8>(1, 9);
+                c.send(1, 5, &[5u64]);
+                let _ = c.recv::<u8>(1, 10);
+                c.send(1, 6, &[6u64]);
+                0
+            } else {
+                let mut reqs = vec![c.irecv::<u64>(0, 5), c.irecv::<u64>(0, 6)];
+                c.send(0, 9, &[1u8]);
+                // Only the tag-5 message can exist at this point.
+                let (i, v) = c.wait_any(&mut reqs);
+                assert_eq!(i, 0);
+                assert_eq!(v, vec![5]);
+                assert_eq!(reqs.len(), 1);
+                c.send(0, 10, &[1u8]);
+                // The remaining request re-indexes to 0.
+                let (i, v) = c.wait_any(&mut reqs);
+                assert_eq!(i, 0);
+                assert_eq!(v, vec![6]);
+                assert!(reqs.is_empty());
+                66
+            }
+        });
+        assert_eq!(out[1], 66);
+    }
+
+    #[test]
+    fn wait_any_prefers_earliest_arrival() {
+        let out = spmd::run(2, |c| {
+            if c.rank() == 0 {
+                // Tag 6 hits the wire before tag 5 (channel FIFO), then
+                // the go-signal guarantees both precede the probe.
+                c.send(1, 6, &[6u64]);
+                c.send(1, 5, &[5u64]);
+                c.send(1, 9, &[1u8]);
+                0
+            } else {
+                let mut reqs = vec![c.irecv::<u64>(0, 5), c.irecv::<u64>(0, 6)];
+                // Drain the wire: pulls tags 6 and 5 into pending.
+                let _ = c.recv::<u8>(0, 9);
+                let (i, v) = c.wait_any(&mut reqs);
+                assert_eq!(i, 1, "earliest arrival (tag 6) must win");
+                assert_eq!(v, vec![6]);
+                let (i, v) = c.wait_any(&mut reqs);
+                assert_eq!((i, v), (0, vec![5u64]));
+                7
+            }
+        });
+        assert_eq!(out[1], 7);
     }
 
     #[test]

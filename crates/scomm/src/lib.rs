@@ -32,6 +32,10 @@
 //! * A **machine model** ([`machine::MachineModel`]) of a 2008-era
 //!   Ranger-like system used by the benchmark harnesses to convert measured
 //!   operation counts into modeled large-scale times.
+//! * **Virtual ranks** ([`spmd::run_virtual`]) — the same SPMD programs
+//!   multiplexed over a fixed worker pool by the cooperative `vrank`
+//!   scheduler, so P ∈ {256, 1024, 4096} runs on a handful of cores with
+//!   results bit-identical to thread mode.
 //!
 //! ## Example
 //!

@@ -3,8 +3,24 @@
 //! Each rank is a real OS thread with its own [`Comm`] handle; the closure
 //! is the "main" of the simulated MPI program. Results are collected in
 //! rank order.
+//!
+//! Two launch modes share the same closure signature:
+//!
+//! * [`run`] — thread mode: every rank's thread is runnable at all times.
+//!   Fine up to a few dozen ranks; beyond that the host drowns in
+//!   context switches between barrier entrants.
+//! * [`run_virtual`] — virtual mode: ranks are multiplexed over a fixed
+//!   worker pool by a [`vrank::Scheduler`]; a rank blocked in `scomm`
+//!   parks and its worker slot goes to a runnable rank. This is how
+//!   P ∈ {256, 1024, 4096} runs on a laptop-sized pool. Each virtual
+//!   rank still owns an OS thread as its execution context, but with a
+//!   small stack ([`VirtualCfg::stack_bytes`]) and parked threads cost
+//!   no scheduler attention.
 
-use obs::{RankProfile, Recorder};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use obs::{RankProfile, Recorder, Reduce, Summary};
 
 use crate::comm::{Comm, World};
 use crate::stats::CommStats;
@@ -91,6 +107,214 @@ where
         (r, rec.profile())
     });
     paired.into_iter().unzip()
+}
+
+// --------------------------------------------------------------------
+// Virtual mode
+// --------------------------------------------------------------------
+
+/// Configuration for a virtual-mode launch (see [`run_virtual_cfg`]).
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualCfg {
+    /// Worker-slot pool size: at most this many ranks are runnable at
+    /// any instant. 8–16 covers every experiment in the repo.
+    pub workers: usize,
+    /// Seed for the scheduler's dispatch tie-breaking. Part of the
+    /// replay triple: the same `(seed, P, workers)` reproduces the same
+    /// dispatch decisions (and, with one worker, the same interleaving).
+    pub seed: u64,
+    /// Stack size per virtual-rank thread. The default (2 MiB) holds the
+    /// deepest recursion in the repo (octree balance) with a wide margin
+    /// while keeping 4096 ranks under 8 GiB of reserved stack.
+    pub stack_bytes: usize,
+}
+
+impl Default for VirtualCfg {
+    fn default() -> VirtualCfg {
+        VirtualCfg {
+            workers: 8,
+            seed: 0,
+            stack_bytes: 2 << 20,
+        }
+    }
+}
+
+/// Run `f` on `nranks` *virtual* ranks over a `workers`-slot pool and
+/// return the per-rank results in rank order — the drop-in twin of
+/// [`run`] for large P. Program-observable results are identical to
+/// thread mode (pinned by the `check` differential suite); only the
+/// execution strategy differs.
+pub fn run_virtual<F, R>(nranks: usize, workers: usize, f: F) -> Vec<R>
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    run_virtual_cfg(
+        nranks,
+        VirtualCfg {
+            workers,
+            ..VirtualCfg::default()
+        },
+        f,
+    )
+    .0
+}
+
+/// [`run_virtual`] with full configuration; additionally returns each
+/// rank's accumulated [`CommStats`] (the [`run_with_stats`] twin).
+pub fn run_virtual_cfg<F, R>(nranks: usize, cfg: VirtualCfg, f: F) -> (Vec<R>, Vec<CommStats>)
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    assert!(cfg.workers >= 1, "virtual mode needs at least one worker");
+    let sched = Arc::new(vrank::Scheduler::new(nranks, cfg.workers, cfg.seed));
+    let world = World::new_virtual(nranks, Arc::clone(&sched));
+    let mut slots: Vec<Option<Result<(R, CommStats), Box<dyn std::any::Any + Send>>>> =
+        (0..nranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for rank in 0..nranks {
+            let world = &world;
+            let f = &f;
+            let sched = Arc::clone(&sched);
+            let handle = std::thread::Builder::new()
+                .name(format!("vrank-{rank}"))
+                .stack_size(cfg.stack_bytes)
+                .spawn_scoped(scope, move || {
+                    sched.rank_start(rank);
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        let comm = world.attach(rank);
+                        let r = f(&comm);
+                        let stats = comm.stats();
+                        (r, stats)
+                    }));
+                    match out {
+                        Ok(pair) => {
+                            sched.rank_finish(rank);
+                            Ok(pair)
+                        }
+                        Err(e) => {
+                            // Wake every parked peer so nobody waits on a
+                            // dead rank; idempotent across multiple panics.
+                            sched.poison();
+                            Err(e)
+                        }
+                    }
+                })
+                .expect("failed to spawn a virtual-rank thread");
+            handles.push(handle);
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(res) => slots[rank] = Some(res),
+                Err(e) => slots[rank] = Some(Err(e)),
+            }
+        }
+    });
+    // On failure, re-panic with the *root cause*: prefer a payload that is
+    // not the scheduler's secondary poison/deadlock notification.
+    let mut fallback: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut primary: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut out = Vec::with_capacity(nranks);
+    let mut stats = Vec::with_capacity(nranks);
+    for slot in slots {
+        match slot.expect("every rank thread was joined") {
+            Ok((r, s)) => {
+                out.push(r);
+                stats.push(s);
+            }
+            Err(e) => {
+                let is_secondary = e
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("vrank:"));
+                if is_secondary {
+                    fallback.get_or_insert(e);
+                } else {
+                    primary.get_or_insert(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = primary.or(fallback) {
+        resume_unwind(e);
+    }
+    (out, stats)
+}
+
+/// Virtual-mode twin of [`run_traced`]: every rank gets a full-detail
+/// recorder and the per-rank [`RankProfile`]s come back in rank order.
+/// Intended for moderate P; at large P use
+/// [`run_virtual_traced_merged`], which caps the per-event detail.
+pub fn run_virtual_traced<F, R>(nranks: usize, cfg: VirtualCfg, f: F) -> (Vec<R>, Vec<RankProfile>)
+where
+    F: Fn(&Comm, &Recorder) -> R + Sync,
+    R: Send,
+{
+    let paired = run_virtual_cfg(nranks, cfg, |comm| {
+        let rec = Recorder::new(comm.rank());
+        comm.set_recorder(rec.clone());
+        let r = f(comm, &rec);
+        (r, rec.profile())
+    })
+    .0;
+    paired.into_iter().unzip()
+}
+
+/// Cross-rank telemetry from a large-P traced run: the exact merged
+/// summary plus full per-event profiles for only the first
+/// `detail_tracks` ranks.
+#[derive(Debug, Clone)]
+pub struct MergedTrace {
+    /// Exact merge (via [`obs::Reduce`]) of *every* rank's summary —
+    /// phase timings, counters and histograms lose nothing to the track
+    /// cap.
+    pub summary: Summary,
+    /// Full profiles (spans, instants, series) of ranks
+    /// `0..detail_tracks`, e.g. for a Chrome-trace export with a bounded
+    /// track count.
+    pub detail: Vec<RankProfile>,
+}
+
+/// Memory-bounded traced launch for large P: ranks `0..detail_tracks`
+/// record full per-event detail, all other ranks record summary-only
+/// (O(phases) memory each, see [`Recorder::new_summary_only`]), and all
+/// `nranks` summaries are merged exactly in rank order. A P = 4096 run
+/// therefore holds 4096 summaries + `detail_tracks` event lists — not
+/// 4096 Chrome-trace tracks.
+pub fn run_virtual_traced_merged<F, R>(
+    nranks: usize,
+    cfg: VirtualCfg,
+    detail_tracks: usize,
+    f: F,
+) -> (Vec<R>, MergedTrace)
+where
+    F: Fn(&Comm, &Recorder) -> R + Sync,
+    R: Send,
+{
+    let paired = run_virtual_cfg(nranks, cfg, |comm| {
+        let rank = comm.rank();
+        let rec = if rank < detail_tracks {
+            Recorder::new(rank)
+        } else {
+            Recorder::new_summary_only(rank)
+        };
+        comm.set_recorder(rec.clone());
+        let r = f(comm, &rec);
+        (r, rec.profile())
+    })
+    .0;
+    let mut out = Vec::with_capacity(nranks);
+    let mut summary = Summary::default();
+    let mut detail = Vec::new();
+    for (r, profile) in paired {
+        out.push(r);
+        summary.reduce(&profile.summary);
+        if profile.rank < detail_tracks {
+            detail.push(profile);
+        }
+    }
+    (out, MergedTrace { summary, detail })
 }
 
 #[cfg(test)]

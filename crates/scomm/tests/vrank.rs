@@ -1,0 +1,243 @@
+//! Virtual-mode contract tests: `spmd::run_virtual` must be a drop-in
+//! twin of `spmd::run` — identical program-observable results, stats and
+//! fault-replay behaviour — while multiplexing many ranks over a small
+//! worker pool, and its failure modes (peer panic, deadlock) must be
+//! diagnosable panics rather than hangs.
+
+use obs::Recorder;
+use scomm::spmd::{self, VirtualCfg};
+use scomm::{Comm, FaultPlan};
+
+/// A workload touching every communication family: gather/reduce/scan
+/// collectives, broadcast, both all-to-all paths, a p2p ring and a
+/// split-phase exchange round.
+fn mixed_workload(c: &Comm) -> (Vec<u64>, u64, u64, Vec<u64>, Vec<u64>, u64, Vec<u64>) {
+    let me = c.rank() as u64;
+    let p = c.size();
+    let g = c.allgather_u64(me * 3 + 1);
+    let s = c.allreduce_sum(&[me + 1])[0];
+    let x = c.exscan_sum(me + 1);
+    let b = c.bcast(p - 1, &[me, me + 7]);
+    let counts = vec![1usize; p];
+    let send: Vec<u64> = (0..p as u64).map(|d| me * 1000 + d).collect();
+    let mut recv = Vec::new();
+    let mut recv_counts = Vec::new();
+    c.alltoallv_flat(&send, &counts, &mut recv, &mut recv_counts);
+    let next = (c.rank() + 1) % p;
+    let prev = (c.rank() + p - 1) % p;
+    let mut token = vec![me];
+    for _ in 0..p.min(8) {
+        let req = c.irecv::<u64>(prev, 7);
+        c.isend(next, 7, &token).wait();
+        token = c.wait(req);
+    }
+    let mut ex = scomm::Exchange::new(2);
+    let (mut er, mut ec): (Vec<u64>, Vec<usize>) = (Vec::new(), Vec::new());
+    c.exchange_start(&send, &counts, &counts, &mut ex);
+    c.exchange_end(&mut ex, &mut er, &mut ec);
+    (g, s, x, b, recv, token[0], er)
+}
+
+#[test]
+fn virtual_matches_thread_results_and_stats() {
+    let p = 64;
+    let (thread_res, thread_stats) = spmd::run_with_stats(p, mixed_workload);
+    let (virt_res, virt_stats) = spmd::run_virtual_cfg(
+        p,
+        VirtualCfg {
+            workers: 4,
+            ..VirtualCfg::default()
+        },
+        mixed_workload,
+    );
+    assert_eq!(virt_res, thread_res, "virtual mode must be bit-identical");
+    assert_eq!(virt_stats, thread_stats, "per-rank stats must agree");
+}
+
+#[test]
+fn ring_at_p256_on_four_workers() {
+    let p = 256;
+    let out = spmd::run_virtual(p, 4, |c| {
+        let next = (c.rank() + 1) % c.size();
+        let prev = (c.rank() + c.size() - 1) % c.size();
+        let mut token = vec![c.rank() as u64];
+        for _ in 0..4 {
+            let req = c.irecv::<u64>(prev, 1);
+            c.isend(next, 1, &token).wait();
+            token = c.wait(req);
+        }
+        c.barrier();
+        token[0]
+    });
+    for (r, v) in out.iter().enumerate() {
+        assert_eq!(*v, ((r + 256 - 4) % 256) as u64);
+    }
+}
+
+#[test]
+fn worker_pool_sizes_agree() {
+    // The pool size is an execution detail: 1, 3 and 16 workers must all
+    // produce the thread-mode answer.
+    let p = 32;
+    let reference = spmd::run(p, mixed_workload);
+    for workers in [1usize, 3, 16] {
+        let got = spmd::run_virtual(p, workers, mixed_workload);
+        assert_eq!(got, reference, "workers={workers}");
+    }
+}
+
+#[test]
+fn fault_replay_matches_thread_mode() {
+    // FaultState depends only on (plan seed, rank, op sequence), so the
+    // same plan must produce identical counters in both modes.
+    let body = |c: &Comm| {
+        c.set_fault_plan(Some(FaultPlan::delays(0xabad)));
+        let next = (c.rank() + 1) % c.size();
+        let prev = (c.rank() + c.size() - 1) % c.size();
+        for round in 0..12u64 {
+            let req = c.irecv::<u64>(prev, round % 3);
+            c.isend(next, round % 3, &[round]).wait();
+            let v = c.wait(req);
+            assert_eq!(v, vec![round]);
+            c.barrier();
+        }
+        let counters = c.fault_counters().unwrap();
+        c.set_fault_plan(None);
+        counters
+    };
+    let thread = spmd::run(8, body);
+    let virt = spmd::run_virtual(8, 3, body);
+    assert_eq!(thread, virt);
+    assert!(thread.iter().map(|f| f.delayed).sum::<u64>() > 0);
+}
+
+#[test]
+fn scheduler_determinism_span_trees_and_overlap() {
+    // Satellite: same (seed, P, workers) ⇒ identical obs span trees and
+    // identical comm.overlap_ns totals across two runs. Manual-clock
+    // recorders make time attribution exact, so any schedule-dependent
+    // difference in op order or matching would change the trees.
+    let run_once = || {
+        let cfg = VirtualCfg {
+            workers: 4,
+            seed: 0xC0FFEE,
+            ..VirtualCfg::default()
+        };
+        spmd::run_virtual_cfg(48, cfg, |c| {
+            let rec = Recorder::new_manual_clock(c.rank());
+            c.set_recorder(rec.clone());
+            let me = c.rank() as u64;
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            for round in 0..6u64 {
+                let req = c.irecv::<u64>(prev, round);
+                c.isend(next, round, &[me]).wait();
+                rec.advance_clock(100 + me * 3 + round);
+                let _ = c.wait(req);
+                let _ = c.allreduce_sum(&[me + round]);
+            }
+            let prof = rec.profile();
+            let overlap = prof.summary.counter(scomm::OVERLAP_COUNTER);
+            (prof.spans, overlap)
+        })
+        .0
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "same seed+P+workers must reproduce spans and overlap");
+    assert!(a.iter().all(|(_, overlap)| *overlap > 0));
+}
+
+#[test]
+fn merged_trace_caps_detail_and_merges_summaries_exactly() {
+    let p = 64;
+    let detail_tracks = 4;
+    let cfg = VirtualCfg {
+        workers: 8,
+        ..VirtualCfg::default()
+    };
+    let (out, trace) = spmd::run_virtual_traced_merged(p, cfg, detail_tracks, |c, rec| {
+        rec.with("Step", || {
+            rec.add_count("work", c.rank() as u64 + 1);
+        });
+        c.barrier();
+        c.rank()
+    });
+    assert_eq!(out, (0..p).collect::<Vec<_>>());
+    assert_eq!(trace.detail.len(), detail_tracks, "track cap must hold");
+    assert!(trace.detail.iter().all(|d| !d.spans.is_empty()));
+    // The merged summary is exact across ALL ranks, capped or not.
+    let expect: u64 = (1..=p as u64).sum();
+    assert_eq!(trace.summary.counter("work"), expect);
+    assert_eq!(trace.summary.phases["Step"].count, p as u64);
+    assert_eq!(trace.summary.phases["comm:barrier"].count, p as u64);
+}
+
+#[test]
+fn poll_loop_progresses_on_single_worker() {
+    // Comm::test yields its worker slot in virtual mode; without that,
+    // this poll loop would spin forever at workers == 1 because the
+    // sender could never run.
+    let out = spmd::run_virtual(2, 1, |c| {
+        if c.rank() == 0 {
+            let go = c.recv::<u8>(1, 9);
+            assert_eq!(go, vec![1]);
+            c.send(1, 5, &[33u64]);
+            0
+        } else {
+            let req = c.irecv::<u64>(0, 5);
+            assert!(!c.test(&req), "nothing sent yet");
+            c.send(0, 9, &[1u8]);
+            while !c.test(&req) {}
+            let v = c.wait(req);
+            v[0]
+        }
+    });
+    assert_eq!(out[1], 33);
+}
+
+#[test]
+fn wait_any_works_in_virtual_mode() {
+    let out = spmd::run_virtual(3, 2, |c| {
+        if c.rank() == 0 {
+            let mut reqs = vec![c.irecv::<u64>(1, 1), c.irecv::<u64>(2, 2)];
+            let mut sum = 0;
+            while !reqs.is_empty() {
+                let (_, v) = c.wait_any(&mut reqs);
+                sum += v[0];
+            }
+            sum
+        } else {
+            c.send(0, c.rank() as u64, &[c.rank() as u64 * 11]);
+            0
+        }
+    });
+    assert_eq!(out[0], 33);
+}
+
+#[test]
+#[should_panic(expected = "deliberate rank failure")]
+fn rank_panic_propagates_with_original_payload() {
+    spmd::run_virtual(8, 2, |c| {
+        if c.rank() == 5 {
+            panic!("deliberate rank failure");
+        }
+        // Everyone else blocks in a collective; the poison protocol must
+        // wake them and the launcher must re-raise the *original* panic,
+        // not the secondary peer-panic notification.
+        c.barrier();
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn unmatched_receive_is_a_detected_deadlock() {
+    spmd::run_virtual(4, 2, |c| {
+        if c.rank() == 0 {
+            // This message never comes; once the other ranks finish, the
+            // scheduler proves no wake-up can arrive and panics instead
+            // of hanging the suite.
+            let _ = c.recv::<u64>(1, 99);
+        }
+    });
+}

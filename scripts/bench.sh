@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Benchmark harness (PR 3 matvec pipeline + PR 4 AMR adapt cycle +
-# PR 5 split-phase exchange overlap).
+# PR 5 split-phase exchange overlap + PR 6 virtual-rank scheduler).
 #
-#   scripts/bench.sh           regenerate BENCH_pr3.json, BENCH_pr4.json
-#                              and BENCH_pr5.json from full --release
-#                              runs (the committed artifacts); fails if
-#                              the tensor-kernel speedup regresses below
-#                              1.5x, the adapt-cycle speedup below 2x,
-#                              the overlapped-apply speedup below 1.25x,
-#                              or a warm solve/adapt cycle allocates.
+#   scripts/bench.sh           regenerate BENCH_pr3.json, BENCH_pr4.json,
+#                              BENCH_pr5.json and BENCH_pr6.json from
+#                              full --release runs (the committed
+#                              artifacts); fails if the tensor-kernel
+#                              speedup regresses below 1.5x, the
+#                              adapt-cycle speedup below 2x, the
+#                              overlapped-apply speedup below 1.25x, a
+#                              warm solve/adapt cycle allocates, or the
+#                              measured collective rounds stop growing
+#                              with P over the {256, 1024, 4096} sweep.
 #   scripts/bench.sh --smoke   fast debug-build pass over the same code
 #                              paths for CI; writes to scratch files
 #                              and skips the speedup gates (debug
@@ -22,13 +25,16 @@ if [[ "${1:-}" == "--smoke" ]]; then
     out3="$(mktemp -t BENCH_pr3_smoke.XXXXXX.json)"
     out4="$(mktemp -t BENCH_pr4_smoke.XXXXXX.json)"
     out5="$(mktemp -t BENCH_pr5_smoke.XXXXXX.json)"
-    trap 'rm -f "$out3" "$out4" "$out5"' EXIT
+    out6="$(mktemp -t BENCH_pr6_smoke.XXXXXX.json)"
+    trap 'rm -f "$out3" "$out4" "$out5" "$out6"' EXIT
     echo "==> bench smoke (debug, reduced samples) -> $out3"
     cargo run -q -p rhea-bench --bin pr3_pipeline -- --smoke --out "$out3"
     echo "==> adapt-cycle bench smoke (debug, reduced samples) -> $out4"
     cargo run -q -p rhea-bench --bin fig10_amr_timings -- --smoke --out "$out4"
     echo "==> overlap bench smoke (debug, reduced samples) -> $out5"
     cargo run -q -p rhea-bench --bin pr5_overlap -- --smoke --out "$out5"
+    echo "==> vrank bench smoke (debug, P in {32, 64} virtual ranks) -> $out6"
+    cargo run -q -p rhea-bench --bin pr6_vrank -- --smoke --out "$out6"
 else
     echo "==> bench full (--release) -> BENCH_pr3.json"
     cargo run -q --release -p rhea-bench --bin pr3_pipeline -- --out BENCH_pr3.json
@@ -36,4 +42,6 @@ else
     cargo run -q --release -p rhea-bench --bin fig10_amr_timings -- --out BENCH_pr4.json
     echo "==> overlap bench full (--release) -> BENCH_pr5.json"
     cargo run -q --release -p rhea-bench --bin pr5_overlap -- --out BENCH_pr5.json
+    echo "==> vrank bench full (--release, P in {256, 1024, 4096}) -> BENCH_pr6.json"
+    cargo run -q --release -p rhea-bench --bin pr6_vrank -- --out BENCH_pr6.json
 fi

@@ -33,6 +33,15 @@ timeout 120 cargo test -q -p scomm fault_injection
 echo "==> amr-fuzz-smoke"
 timeout 120 cargo test -q -p check --test fuzz_amr
 
+# High-P virtual-rank fuzz smoke (release, time-boxed): 25 adaptation
+# cycles at P in {64, 256} *virtual* ranks on a <=16-worker pool,
+# asserting the full fuzz_amr property set — the PR 6 acceptance bar.
+# Release because debug is ~10x slower at these world sizes; the
+# always-on debug tier above already covers virtual P = 16. Measured
+# release timings: P=64 ~25 s, P=256 ~100 s.
+echo "==> vrank-fuzz-smoke"
+timeout 600 cargo test -q --release -p check --test fuzz_amr -- --ignored vrank_smoke
+
 # Overlap differential (~1 min debug): the split-phase exchange path —
 # DistOp apply, AMG V-cycle, full MINRES solve — must stay bitwise
 # identical to the blocking oracle at P in {1,2,4,8}.
